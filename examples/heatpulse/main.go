@@ -1,0 +1,93 @@
+// Heat-pulse surrogate: learn the diffusion operator for a Gaussian
+// temperature pulse on a bounded (non-periodic) spectral-element mesh,
+// demonstrating the library on a second physics regime — parabolic
+// diffusion rather than advective flow — and on a mesh with true domain
+// boundaries, where halo structure differs from the periodic TGV case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"meshgnn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Bounded box: boundary ranks have fewer neighbors than interior
+	// ones, unlike the periodic Taylor-Green configuration.
+	m, err := meshgnn.NewMesh(8, 8, 4, 1, meshgnn.NonPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, 8, meshgnn.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heat-pulse surrogate: %d nodes over 8 ranks (bounded box)\n", m.NumNodes())
+	stats := sys.Stats()
+	minN, maxN := stats[0].Neighbors, stats[0].Neighbors
+	for _, s := range stats {
+		if s.Neighbors < minN {
+			minN = s.Neighbors
+		}
+		if s.Neighbors > maxN {
+			maxN = s.Neighbors
+		}
+	}
+	fmt.Printf("neighbor counts range %d..%d (boundary vs interior ranks)\n", minN, maxN)
+
+	pulse := meshgnn.GaussianPulse{Amplitude: 1, Sigma0: 0.12, Alpha: 0.04, Cx: 0.5, Cy: 0.5, Cz: 0.5}
+	const dt = 0.5
+
+	type out struct {
+		curve  []float64
+		relErr float64
+	}
+	results, err := meshgnn.RunCollect(sys, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) (out, error) {
+		model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+		if err != nil {
+			return out{}, err
+		}
+		trainer := meshgnn.NewTrainer(model, meshgnn.NewAdam(2e-3))
+		var o out
+		for it := 0; it < 300; it++ {
+			t0 := 0.25 * float64(it%4)
+			x := r.Sample(pulse, t0)
+			y := r.Sample(pulse, t0+dt)
+			l := trainer.Step(r.Ctx, x, y)
+			if it%60 == 0 || it == 299 {
+				o.curve = append(o.curve, l)
+			}
+		}
+		// Held-out evaluation at an unseen time inside the training
+		// range (interpolation; one-step surrogates extrapolate poorly
+		// far outside their snapshot distribution).
+		const tEval = 0.375
+		x := r.Sample(pulse, tEval)
+		want := r.Sample(pulse, tEval+dt)
+		got := model.Forward(r.Ctx, x)
+		num := r.Loss(got, want)
+		den := r.Loss(want, meshgnn.SampleField(zeroField{}, r.Graph, 0))
+		o.relErr = math.Sqrt(num / den)
+		return o, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ntraining loss (sampled):")
+	for i, l := range results[0].curve {
+		fmt.Printf("  checkpoint %d: %.6f\n", i, l)
+	}
+	fmt.Printf("\nheld-out one-step relative L2 error at t=0.375: %.3f\n", results[0].relErr)
+	fmt.Println("(all ranks trained one shared model; the consistent loss above is")
+	fmt.Println("identical on every rank and to an unpartitioned run)")
+}
+
+// zeroField provides the zero reference for relative error norms.
+type zeroField struct{}
+
+func (zeroField) Eval(x, y, z, t float64) (float64, float64, float64) { return 0, 0, 0 }

@@ -1,0 +1,91 @@
+// Flow past an obstacle: element masking carves a square cylinder out of
+// a duct — the graph topology itself changes, the step beyond curvilinear
+// mappings toward the unstructured geometries that motivate mesh-based
+// GNNs. The masked domain is decomposed with RCB (Cartesian blocks assume
+// the full grid), trained on a perturbed shear flow, and the prediction
+// is written as per-rank VTK files for ParaView inspection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"meshgnn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Duct with a 2x2-element square obstacle.
+	m, err := meshgnn.NewMesh(10, 6, 2, 2, meshgnn.NonPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obstacle := func(e, f, g int) bool {
+		return !(e >= 4 && e <= 5 && f >= 2 && f <= 3)
+	}
+	if err := m.SetMask(obstacle); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("duct with obstacle: %d of %d elements active, %d graph nodes\n",
+		m.NumActiveElements(), m.NumElements(), m.NumActiveNodes())
+
+	// RCB handles the non-rectangular element set; 5 ranks to show
+	// non-power-of-two decomposition.
+	sys, err := meshgnn.NewSystemRCB(m, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r, s := range sys.Stats() {
+		fmt.Printf("  rank %d: %4d local nodes, %3d halos, %d neighbors\n",
+			r, s.LocalNodes, s.HaloNodes, s.Neighbors)
+	}
+
+	flow := meshgnn.ShearLayer{U0: 1, Thickness: 0.12, Perturbation: 0.08, L: 1}
+	cfg := meshgnn.SmallConfig()
+	diff, err := meshgnn.VerifyConsistency(sys, cfg, meshgnn.NeighborAllToAll, flow, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistency on the masked domain: max deviation %.3g\n", diff)
+
+	outDir, err := os.MkdirTemp("", "meshgnn-obstacle-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	losses, err := meshgnn.RunCollect(sys, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) (float64, error) {
+		model, err := meshgnn.NewModel(cfg)
+		if err != nil {
+			return 0, err
+		}
+		trainer := meshgnn.NewTrainer(model, meshgnn.NewAdam(2e-3))
+		var ds meshgnn.Dataset
+		for _, t0 := range []float64{0, 0.1, 0.2} {
+			ds.Add(r.Sample(flow, t0), r.Sample(flow, t0+0.1))
+		}
+		curve := trainer.Fit(r.Ctx, &ds, meshgnn.FitOptions{Epochs: 30, ShuffleSeed: 2})
+
+		// Write this rank's prediction and the decomposition as VTK.
+		pred := model.Forward(r.Ctx, r.Sample(flow, 0.15))
+		f, err := os.Create(filepath.Join(outDir, fmt.Sprintf("rank%d.vtk", r.ID())))
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if err := r.WriteVTK(f,
+			meshgnn.VTKField{Name: "prediction", Values: pred},
+			meshgnn.VTKField{Name: "input", Values: r.Sample(flow, 0.15)},
+		); err != nil {
+			return 0, err
+		}
+		return curve[len(curve)-1], nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal training loss: %.6f (identical on all %d ranks)\n", losses[0], len(losses))
+	fmt.Printf("per-rank VTK written to %s (open rank*.vtk together in ParaView to\n", outDir)
+	fmt.Println("see the decomposition as cell data and the prediction as point data)")
+}

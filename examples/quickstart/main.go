@@ -1,0 +1,69 @@
+// Quickstart: build a periodic spectral-element mesh, partition it over
+// four ranks, train the paper's small consistent GNN on a Taylor–Green
+// snapshot, and verify that the distributed run is arithmetically
+// equivalent to the unpartitioned one (paper Eq. 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshgnn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Mesh: 6^3 spectral elements of order 2 on a periodic unit cube
+	//    (the discretization NekRS would hand to the GNN plugin).
+	m, err := meshgnn.NewMesh(6, 6, 6, 2, meshgnn.FullyPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: 6^3 elements at p=2 -> %d graph nodes\n", m.NumNodes())
+
+	// 2. Decompose over 4 ranks (near-cubic blocks) and build each
+	//    rank's reduced sub-graph with halo plans.
+	sys, err := meshgnn.NewSystem(m, 4, meshgnn.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r, s := range sys.Stats() {
+		fmt.Printf("  rank %d: %d local nodes, %d halo nodes, %d neighbors\n",
+			r, s.LocalNodes, s.HaloNodes, s.Neighbors)
+	}
+
+	// 3. Verify consistency: partitioned outputs must equal the R=1 run.
+	tgv := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	diff, err := meshgnn.VerifyConsistency(sys, meshgnn.SmallConfig(), meshgnn.NeighborAllToAll, tgv, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistency (Eq. 2): max |Y(R=4) - Y(R=1)| = %.3g\n", diff)
+
+	// 4. Train: every rank runs the same model; halo exchanges keep
+	//    messages consistent across sub-graph boundaries and gradients
+	//    are AllReduced, so the loss trajectory matches a single-rank run.
+	losses, err := meshgnn.RunCollect(sys, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) ([]float64, error) {
+		model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+		if err != nil {
+			return nil, err
+		}
+		trainer := meshgnn.NewTrainer(model, meshgnn.NewAdam(1e-3))
+		x := r.Sample(tgv, 0)
+		curve := make([]float64, 30)
+		for i := range curve {
+			curve[i] = trainer.Step(r.Ctx, x, x)
+		}
+		return curve, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := losses[0]
+	fmt.Println("training (autoencoding task, consistent loss):")
+	for i := 0; i < len(curve); i += 10 {
+		fmt.Printf("  iter %3d: %.6f\n", i+1, curve[i])
+	}
+	fmt.Printf("  iter %3d: %.6f\n", len(curve), curve[len(curve)-1])
+}

@@ -1,0 +1,47 @@
+// Scaling study: reproduce the paper's weak-scaling methodology end to
+// end on one host — measure real distributed training iterations across
+// halo-exchange modes, then project the same workloads onto the Frontier
+// machine model up to 2048 ranks / 1.1e9 graph nodes (paper Figs. 7–8).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/experiments"
+	"meshgnn/internal/gnn"
+	"meshgnn/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("=== measured tier: real goroutine ranks on this host ===")
+	fmt.Println("(ranks time-share cores; the relative column is the meaningful one)")
+	fmt.Println()
+	measured, err := experiments.Fig7Measured(3, 2, []int{2, 4, 8}, gnn.SmallConfig(),
+		[]comm.ExchangeMode{comm.AllToAllMode, comm.NeighborAllToAll}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderMeasured(os.Stdout, measured)
+
+	fmt.Println()
+	fmt.Println("=== projected tier: Frontier machine model, paper scale ===")
+	pts, err := experiments.Fig7Frontier(perfmodel.Frontier(), 5,
+		[]int{8, 64, 512, 2048},
+		[]experiments.Loading{experiments.Loading512k()},
+		[]gnn.Config{gnn.LargeConfig()},
+		experiments.DefaultModes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderFig7(os.Stdout, pts)
+
+	fmt.Println()
+	fmt.Println("Reading the tables: the no-exchange baseline weak-scales near-ideally;")
+	fmt.Println("Neighbor-A2A pays a marginal consistency cost; uniform-buffer A2A")
+	fmt.Println("collapses as R grows — the ordering the paper reports on Frontier.")
+}

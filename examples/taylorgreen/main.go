@@ -1,0 +1,94 @@
+// Taylor–Green surrogate: train the consistent distributed GNN to advance
+// the decaying Taylor–Green vortex in time (X(t) -> X(t+Δt)), then roll
+// the learned surrogate forward and compare its kinetic-energy decay
+// against the analytic solution — the paper's motivating use case of
+// GNN surrogates for high-fidelity CFD snapshots.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshgnn"
+)
+
+const (
+	dt       = 0.25
+	nu       = 0.02
+	trainIts = 400
+	rollout  = 6
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := meshgnn.NewMesh(6, 6, 6, 2, meshgnn.FullyPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, 4, meshgnn.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgv := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: nu}
+	fmt.Printf("Taylor-Green surrogate on %d nodes, 4 ranks, Δt=%.2f, ν=%.3g\n",
+		m.NumNodes(), dt, nu)
+
+	type result struct {
+		finalLoss float64
+		energies  []float64 // surrogate rollout kinetic energy
+		exact     []float64 // analytic kinetic energy
+	}
+	results, err := meshgnn.RunCollect(sys, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) (result, error) {
+		model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+		if err != nil {
+			return result{}, err
+		}
+		trainer := meshgnn.NewTrainer(model, meshgnn.NewAdam(2e-3))
+
+		// Training pairs: snapshots at several phases of the decay, so
+		// the surrogate learns the decay operator rather than one
+		// transition.
+		times := []float64{0, dt, 2 * dt, 3 * dt}
+		var last float64
+		for it := 0; it < trainIts; it++ {
+			t0 := times[it%len(times)]
+			x := r.Sample(tgv, t0)
+			y := r.Sample(tgv, t0+dt)
+			last = trainer.Step(r.Ctx, x, y)
+		}
+
+		// Rollout: apply the surrogate repeatedly from t=0.
+		res := result{finalLoss: last}
+		state := r.Sample(tgv, 0)
+		for step := 0; step <= rollout; step++ {
+			t := float64(step) * dt
+			exact := r.Sample(tgv, t)
+			// Globally consistent energy: assemble on rank 0.
+			surr, _ := r.Assemble(state)
+			ex, _ := r.Assemble(exact)
+			if r.ID() == 0 {
+				res.energies = append(res.energies, meshgnn.KineticEnergy(surr))
+				res.exact = append(res.exact, meshgnn.KineticEnergy(ex))
+			}
+			if step < rollout {
+				state = model.Forward(r.Ctx, state)
+			}
+		}
+		return res, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r0 := results[0]
+	fmt.Printf("final training loss: %.3g\n\n", r0.finalLoss)
+	fmt.Println("  t      KE(surrogate)  KE(analytic)   rel.err")
+	for i := range r0.energies {
+		t := float64(i) * dt
+		rel := (r0.energies[i] - r0.exact[i]) / r0.exact[i]
+		fmt.Printf("%5.2f  %13.6f  %12.6f  %8.2e\n", t, r0.energies[i], r0.exact[i], rel)
+	}
+	fmt.Println("\nThe surrogate tracks the viscous decay of the vortex; rollout error grows")
+	fmt.Println("with horizon, as expected of one-step surrogates without noise injection.")
+}

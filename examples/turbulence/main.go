@@ -1,0 +1,84 @@
+// Turbulence surrogate: the data regime the paper's introduction
+// motivates — well-resolved meshes capture turbulence-like multi-scale
+// structure that coarse demos miss. This example trains the consistent
+// GNN on a decaying synthetic turbulence field (divergence-free random
+// Fourier modes with a Kolmogorov-like spectrum), comparing rollouts of a
+// model trained with and without partition-consistent noise injection:
+// the stabilization that makes one-step surrogates usable autoregressively.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshgnn"
+)
+
+const (
+	dt      = 0.2
+	rollout = 5
+	epochs  = 60
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := meshgnn.NewMesh(6, 6, 6, 2, meshgnn.FullyPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, 4, meshgnn.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	turb := meshgnn.NewSyntheticTurbulence(24, 1, 0.05, 0.5, 11)
+	fmt.Printf("synthetic turbulence surrogate: %d nodes, 4 ranks, %d Fourier modes\n",
+		m.NumNodes(), 24)
+
+	train := func(noise float64) []float64 {
+		errsList, err := meshgnn.RunCollect(sys, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) ([]float64, error) {
+			model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+			if err != nil {
+				return nil, err
+			}
+			trainer := meshgnn.NewTrainer(model, meshgnn.NewAdam(2e-3))
+			trainer.ClipNorm = 1.0
+			trainer.Schedule = meshgnn.CosineSchedule{
+				Base: 2e-3, Floor: 2e-4, Steps: epochs * 4, Warmup: 10,
+			}
+			var ds meshgnn.Dataset
+			for _, t0 := range []float64{0, dt, 2 * dt, 3 * dt} {
+				ds.Add(r.Sample(turb, t0), r.Sample(turb, t0+dt))
+			}
+			trainer.Fit(r.Ctx, &ds, meshgnn.FitOptions{
+				Epochs:      epochs,
+				ShuffleSeed: 3,
+				NoiseSigma:  noise,
+				NoiseSeed:   17,
+			})
+			// Autoregressive rollout against the analytic decay.
+			traj := meshgnn.Rollout(model, r.Ctx, r.Sample(turb, 0), rollout)
+			ref := make([]*meshgnn.Matrix, rollout+1)
+			for s := 0; s <= rollout; s++ {
+				ref[s] = r.Sample(turb, float64(s)*dt)
+			}
+			return meshgnn.RolloutError(r.Ctx, traj, ref), nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return errsList[0]
+	}
+
+	clean := train(0)
+	noisy := train(0.01)
+
+	fmt.Println("\nautoregressive rollout relative L2 error vs analytic decay:")
+	fmt.Println("  step   t      no-noise   noise-injected")
+	for s := 0; s <= rollout; s++ {
+		fmt.Printf("  %4d  %4.1f  %9.4f  %14.4f\n", s, float64(s)*dt, clean[s], noisy[s])
+	}
+	fmt.Println("\nNoise injection trades a little one-step accuracy for rollout stability;")
+	fmt.Println("because the noise is keyed by global node ID, both runs remain exactly")
+	fmt.Println("partition-consistent (the same experiment on R=1 gives identical curves).")
+}

@@ -1,0 +1,93 @@
+// Wavy-channel surrogate: complex geometry is the paper's motivating
+// requirement — practical CFD data lives on curved, unstructured meshes,
+// which is why mesh-based GNNs exist at all. This example deforms the
+// spectral-element box into a sinusoidally-walled channel with
+// boundary-layer grading, verifies that distributed consistency is
+// unaffected by the curvilinear geometry, and trains a shear-flow
+// surrogate whose edge features carry the mapped metric.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"meshgnn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Curved geometry: wavy bottom wall + tanh grading toward it.
+	m, err := meshgnn.NewMesh(8, 6, 2, 2, meshgnn.NonPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wavy := meshgnn.WavyChannel(0.08, 2)
+	graded := meshgnn.Stretched(2.0)
+	composite := func(x, y, z float64) (float64, float64, float64) {
+		x, y, z = graded(x, y, z)
+		return wavy(x, y, z)
+	}
+	if err := m.SetMapping(composite); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, 4, meshgnn.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wavy channel: %d nodes on a mapped spectral-element mesh, 4 ranks\n", m.NumNodes())
+
+	// Consistency is geometry-independent.
+	flow := meshgnn.ShearLayer{U0: 1, Thickness: 0.15, Perturbation: 0.05, L: 1}
+	diff, err := meshgnn.VerifyConsistency(sys, meshgnn.SmallConfig(), meshgnn.NeighborAllToAll, flow, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistency on the curved mesh: max |Y(R=4) - Y(R=1)| = %.3g\n", diff)
+
+	// Train a one-step surrogate of the (analytically advected) shear
+	// flow on the curved mesh; noise injection stabilizes rollouts.
+	type out struct {
+		curve  []float64
+		relErr float64
+	}
+	results, err := meshgnn.RunCollect(sys, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) (out, error) {
+		model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+		if err != nil {
+			return out{}, err
+		}
+		trainer := meshgnn.NewTrainer(model, meshgnn.NewAdam(2e-3))
+		var ds meshgnn.Dataset
+		for _, t0 := range []float64{0, 0.1, 0.2, 0.3} {
+			ds.Add(r.Sample(flow, t0), r.Sample(flow, t0+0.1))
+		}
+		curve := trainer.Fit(r.Ctx, &ds, meshgnn.FitOptions{
+			Epochs:      40,
+			ShuffleSeed: 5,
+			NoiseSigma:  0.01,
+			NoiseSeed:   6,
+		})
+		// Held-out interpolation check.
+		x := r.Sample(flow, 0.15)
+		want := r.Sample(flow, 0.25)
+		got := model.Forward(r.Ctx, x)
+		num := r.Loss(got, want)
+		den := r.Loss(want, &meshgnn.Matrix{Rows: want.Rows, Cols: want.Cols,
+			Data: make([]float64, len(want.Data))})
+		return out{curve: curve, relErr: math.Sqrt(num / den)}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r0 := results[0]
+	fmt.Println("\nepoch loss (sampled):")
+	for e := 0; e < len(r0.curve); e += 10 {
+		fmt.Printf("  epoch %2d: %.6f\n", e+1, r0.curve[e])
+	}
+	fmt.Printf("  epoch %2d: %.6f\n", len(r0.curve), r0.curve[len(r0.curve)-1])
+	fmt.Printf("\nheld-out one-step relative L2 on the curved mesh: %.3f\n", r0.relErr)
+	fmt.Println("\nThe same model weights apply to any geometry: only the coordinates and")
+	fmt.Println("edge features change, exactly as mesh-based GNNs promise.")
+}

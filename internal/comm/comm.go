@@ -1,0 +1,328 @@
+// Package comm provides an in-process SPMD communication runtime standing
+// in for MPI + collective libraries (NCCL/RCCL) in the paper's distributed
+// GNN workflow.
+//
+// Each rank runs in its own goroutine and communicates through buffered
+// point-to-point channels. Collectives are built on top of point-to-point
+// with a deterministic, rank-ordered reduction: the same inputs always
+// produce bitwise-identical results, which is what makes the paper's
+// consistency property (partitioned == unpartitioned arithmetic) testable
+// to machine precision.
+//
+// Every operation is instrumented with message and byte counters. The
+// counters feed the performance model that projects the measured kernel
+// rates onto the Frontier interconnect when regenerating the paper's
+// scaling figures.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tag labels a point-to-point message so mismatched communication patterns
+// fail loudly instead of silently mispairing buffers.
+type Tag int
+
+// Reserved tags for the collective algorithms and halo exchange.
+const (
+	TagReduce Tag = iota + 1
+	TagBcast
+	TagGather
+	TagAllToAll
+	TagHaloForward
+	TagHaloAdjoint
+	TagSetup
+	TagUser Tag = 100 // first tag available to applications
+)
+
+type message struct {
+	tag  Tag
+	data []float64
+	ints []int64
+}
+
+// Stats accumulates per-rank communication counters.
+type Stats struct {
+	MessagesSent  int64
+	FloatsSent    int64 // float64 payload elements sent point-to-point
+	AllReduces    int64
+	AllToAlls     int64
+	HaloExchanges int64
+	// HaloSeconds accumulates wall time spent inside halo exchanges
+	// (pack, transfer, unpack), for time-breakdown reporting.
+	HaloSeconds float64
+}
+
+// BytesSent returns the total point-to-point payload volume in bytes.
+func (s *Stats) BytesSent() int64 { return 8 * s.FloatsSent }
+
+// World owns the channel fabric connecting size ranks.
+type World struct {
+	size int
+	// mail[dst][src] carries messages from src to dst. Buffered so that
+	// all ranks can post their sends before any receives complete.
+	mail [][]chan message
+}
+
+// mailboxDepth bounds the number of in-flight messages per (src,dst) pair.
+// Halo exchanges post at most a handful of messages per pair per layer, so
+// a small constant suffices; it is generous to keep the collectives from
+// serializing.
+const mailboxDepth = 128
+
+// NewWorld creates the fabric for size ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("comm: world size must be >= 1, got %d", size))
+	}
+	w := &World{size: size, mail: make([][]chan message, size)}
+	for dst := range w.mail {
+		w.mail[dst] = make([]chan message, size)
+		for src := range w.mail[dst] {
+			w.mail[dst][src] = make(chan message, mailboxDepth)
+		}
+	}
+	return w
+}
+
+// Comm is one rank's handle onto the world. A Comm must only be used from
+// the goroutine running that rank.
+type Comm struct {
+	world *World
+	rank  int
+	Stats Stats
+}
+
+// Comm returns the handle for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size R.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send transmits a copy of data to rank dst with the given tag.
+// It never blocks as long as fewer than mailboxDepth messages are in
+// flight between the pair.
+func (c *Comm) Send(dst int, tag Tag, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.world.mail[dst][c.rank] <- message{tag: tag, data: cp}
+	c.Stats.MessagesSent++
+	c.Stats.FloatsSent += int64(len(data))
+}
+
+// Recv blocks until a message from src arrives and returns its payload.
+// The tag must match the sender's tag.
+func (c *Comm) Recv(src int, tag Tag) []float64 {
+	m := <-c.world.mail[c.rank][src]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
+			c.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// SendInts transmits a copy of an int64 payload (used by setup exchanges
+// of global node IDs).
+func (c *Comm) SendInts(dst int, tag Tag, data []int64) {
+	cp := make([]int64, len(data))
+	copy(cp, data)
+	c.world.mail[dst][c.rank] <- message{tag: tag, ints: cp}
+	c.Stats.MessagesSent++
+	c.Stats.FloatsSent += int64(len(data)) // same 8-byte accounting
+}
+
+// RecvInts receives an int64 payload from src.
+func (c *Comm) RecvInts(src int, tag Tag) []int64 {
+	m := <-c.world.mail[c.rank][src]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected int tag %d from %d, got %d",
+			c.rank, tag, src, m.tag))
+	}
+	return m.ints
+}
+
+// Barrier blocks until every rank has entered it. Implemented as a
+// gather-release through rank 0.
+func (c *Comm) Barrier() {
+	const tag = TagSetup
+	if c.Size() == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for src := 1; src < c.Size(); src++ {
+			c.Recv(src, tag)
+		}
+		for dst := 1; dst < c.Size(); dst++ {
+			c.Send(dst, tag, nil)
+		}
+	} else {
+		c.Send(0, tag, nil)
+		c.Recv(0, tag)
+	}
+}
+
+// AllReduceSum sums buf element-wise across all ranks; on return every
+// rank holds the identical total. The reduction is performed on rank 0 in
+// ascending rank order, making the result deterministic and independent of
+// goroutine scheduling.
+func (c *Comm) AllReduceSum(buf []float64) {
+	c.Stats.AllReduces++
+	if c.Size() == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for src := 1; src < c.Size(); src++ {
+			contrib := c.Recv(src, TagReduce)
+			if len(contrib) != len(buf) {
+				panic(fmt.Sprintf("comm: AllReduceSum length mismatch %d vs %d", len(contrib), len(buf)))
+			}
+			for i, v := range contrib {
+				buf[i] += v
+			}
+		}
+		for dst := 1; dst < c.Size(); dst++ {
+			c.Send(dst, TagBcast, buf)
+		}
+	} else {
+		c.Send(0, TagReduce, buf)
+		copy(buf, c.Recv(0, TagBcast))
+	}
+}
+
+// AllReduceMax computes the element-wise maximum across ranks.
+func (c *Comm) AllReduceMax(buf []float64) {
+	c.Stats.AllReduces++
+	if c.Size() == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for src := 1; src < c.Size(); src++ {
+			contrib := c.Recv(src, TagReduce)
+			for i, v := range contrib {
+				if v > buf[i] {
+					buf[i] = v
+				}
+			}
+		}
+		for dst := 1; dst < c.Size(); dst++ {
+			c.Send(dst, TagBcast, buf)
+		}
+	} else {
+		c.Send(0, TagReduce, buf)
+		copy(buf, c.Recv(0, TagBcast))
+	}
+}
+
+// AllGather concatenates each rank's (equal-length) contribution in rank
+// order and returns the result on every rank.
+func (c *Comm) AllGather(local []float64) []float64 {
+	n := len(local)
+	out := make([]float64, n*c.Size())
+	if c.Size() == 1 {
+		copy(out, local)
+		return out
+	}
+	if c.rank == 0 {
+		copy(out[:n], local)
+		for src := 1; src < c.Size(); src++ {
+			copy(out[src*n:(src+1)*n], c.Recv(src, TagGather))
+		}
+		for dst := 1; dst < c.Size(); dst++ {
+			c.Send(dst, TagBcast, out)
+		}
+	} else {
+		c.Send(0, TagGather, local)
+		copy(out, c.Recv(0, TagBcast))
+	}
+	return out
+}
+
+// AllToAll sends send[j] to rank j and returns recv where recv[i] is the
+// buffer received from rank i. nil entries are treated as empty: no
+// message is exchanged for a nil pair (mirroring the collective-library
+// behaviour the paper exploits for its Neighbor-AllToAll mode, where
+// torch.empty(0) buffers skip communication entirely).
+func (c *Comm) AllToAll(send [][]float64) [][]float64 {
+	if len(send) != c.Size() {
+		panic(fmt.Sprintf("comm: AllToAll needs %d buffers, got %d", c.Size(), len(send)))
+	}
+	c.Stats.AllToAlls++
+	recv := make([][]float64, c.Size())
+	// Self-exchange without touching the fabric.
+	if send[c.rank] != nil {
+		cp := make([]float64, len(send[c.rank]))
+		copy(cp, send[c.rank])
+		recv[c.rank] = cp
+	}
+	for dst := 0; dst < c.Size(); dst++ {
+		if dst == c.rank || send[dst] == nil {
+			continue
+		}
+		c.Send(dst, TagAllToAll, send[dst])
+	}
+	for src := 0; src < c.Size(); src++ {
+		if src == c.rank || send[src] == nil {
+			// Symmetric pattern assumption: pair (r,s) exchanges iff
+			// both directions are non-nil. The halo plans constructed
+			// by the graph package are symmetric by construction.
+			continue
+		}
+		recv[src] = c.Recv(src, TagAllToAll)
+	}
+	return recv
+}
+
+// RunResult couples one rank's return value with its rank.
+type runError struct {
+	rank int
+	err  error
+}
+
+// Run executes fn on every rank of a fresh size-rank world and blocks
+// until all ranks finish, returning the first error by rank order.
+func Run(size int, fn func(c *Comm) error) error {
+	_, err := RunCollect(size, func(c *Comm) (struct{}, error) {
+		return struct{}{}, fn(c)
+	})
+	return err
+}
+
+// RunCollect is Run for functions that return a per-rank value; the
+// results are returned indexed by rank.
+func RunCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
+	w := NewWorld(size)
+	results := make([]T, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("rank %d panicked: %v", rank, p)
+				}
+			}()
+			c := w.Comm(rank)
+			v, err := fn(c)
+			results[rank] = v
+			errs[rank] = err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return results, nil
+}

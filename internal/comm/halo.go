@@ -1,0 +1,257 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"meshgnn/internal/tensor"
+)
+
+// HaloPlan describes one rank's halo exchange pattern. For every
+// neighboring rank it lists which local rows to send and which halo rows
+// the incoming buffer fills. Plans are symmetric across a pair of ranks:
+// the global node IDs behind SendIdx on rank r (toward s) and RecvIdx on
+// rank s (from r) are identical and identically ordered, which both the
+// forward exchange and its adjoint rely on.
+type HaloPlan struct {
+	// Neighbors lists the neighboring ranks in ascending order.
+	Neighbors []int
+	// SendIdx[k] are the local row indices whose values are sent to
+	// Neighbors[k], ordered by global node ID.
+	SendIdx [][]int
+	// RecvIdx[k] are the halo row indices filled by the buffer received
+	// from Neighbors[k], ordered by the same global node IDs.
+	RecvIdx [][]int
+	// MaxSendCount is the maximum SendIdx length over all ranks and
+	// neighbors, used by the uniform-buffer AllToAll mode. Populated by
+	// FinalizePlan.
+	MaxSendCount int
+}
+
+// TotalHalo returns the number of halo rows the plan fills.
+func (p *HaloPlan) TotalHalo() int {
+	n := 0
+	for _, idx := range p.RecvIdx {
+		n += len(idx)
+	}
+	return n
+}
+
+// maxLocalSend returns the largest per-neighbor send count on this rank.
+func (p *HaloPlan) maxLocalSend() int {
+	m := 0
+	for _, idx := range p.SendIdx {
+		if len(idx) > m {
+			m = len(idx)
+		}
+	}
+	return m
+}
+
+// FinalizePlan computes the global MaxSendCount via an AllReduce, mirroring
+// the setup step a uniform-buffer AllToAll implementation performs once.
+func FinalizePlan(c *Comm, p *HaloPlan) {
+	buf := []float64{float64(p.maxLocalSend())}
+	c.AllReduceMax(buf)
+	p.MaxSendCount = int(buf[0])
+}
+
+// ExchangeMode selects the halo exchange implementation, matching the four
+// modes compared in the paper's Sec. III.
+type ExchangeMode int
+
+const (
+	// NoExchange skips the halo exchange entirely: the inconsistent
+	// baseline built on conventional NMP layers.
+	NoExchange ExchangeMode = iota
+	// AllToAllMode exchanges uniform-size buffers among all R ranks,
+	// including "dummy" traffic between ranks that share no halo nodes.
+	AllToAllMode
+	// NeighborAllToAll passes empty buffers for non-neighbor pairs so
+	// the collective degenerates to neighbor-only send/receives (the
+	// paper's N-A2A mode).
+	NeighborAllToAll
+	// SendRecvMode exchanges point-to-point messages with each neighbor
+	// (the paper's custom isend/irecv implementation).
+	SendRecvMode
+)
+
+func (m ExchangeMode) String() string {
+	switch m {
+	case NoExchange:
+		return "none"
+	case AllToAllMode:
+		return "A2A"
+	case NeighborAllToAll:
+		return "N-A2A"
+	case SendRecvMode:
+		return "Send-Recv"
+	}
+	return fmt.Sprintf("ExchangeMode(%d)", int(m))
+}
+
+// ParseExchangeMode converts the CLI spelling of a mode.
+func ParseExchangeMode(s string) (ExchangeMode, error) {
+	switch s {
+	case "none":
+		return NoExchange, nil
+	case "a2a", "A2A":
+		return AllToAllMode, nil
+	case "na2a", "n-a2a", "N-A2A":
+		return NeighborAllToAll, nil
+	case "sendrecv", "send-recv", "Send-Recv":
+		return SendRecvMode, nil
+	}
+	return 0, fmt.Errorf("comm: unknown exchange mode %q", s)
+}
+
+// Exchanger executes differentiable halo exchanges under one of the four
+// modes. Forward populates halo rows from neighboring ranks' local rows;
+// Adjoint is the reverse-mode derivative: halo-row gradients flow back to
+// the ranks that produced the values and accumulate into their local-row
+// gradients. Together they make the consistent NMP layer differentiable
+// end-to-end (the paper's Eq. 3).
+type Exchanger struct {
+	Mode ExchangeMode
+	Plan *HaloPlan
+
+	// packBuf reuses per-neighbor gather buffers across exchanges
+	// (Send copies payloads, so reuse is safe). Keyed by neighbor
+	// index; resized when the column count changes.
+	packBuf [][]float64
+}
+
+// NewExchanger validates the plan for the mode. AllToAllMode requires
+// MaxSendCount (call FinalizePlan first).
+func NewExchanger(mode ExchangeMode, plan *HaloPlan) (*Exchanger, error) {
+	if len(plan.SendIdx) != len(plan.Neighbors) || len(plan.RecvIdx) != len(plan.Neighbors) {
+		return nil, fmt.Errorf("comm: malformed plan: %d neighbors, %d send lists, %d recv lists",
+			len(plan.Neighbors), len(plan.SendIdx), len(plan.RecvIdx))
+	}
+	for k := range plan.Neighbors {
+		if len(plan.SendIdx[k]) != len(plan.RecvIdx[k]) {
+			return nil, fmt.Errorf("comm: asymmetric plan for neighbor %d: send %d recv %d",
+				plan.Neighbors[k], len(plan.SendIdx[k]), len(plan.RecvIdx[k]))
+		}
+	}
+	if mode == AllToAllMode && plan.MaxSendCount == 0 && plan.TotalHalo() > 0 {
+		return nil, fmt.Errorf("comm: AllToAllMode requires FinalizePlan")
+	}
+	return &Exchanger{Mode: mode, Plan: plan}, nil
+}
+
+// Forward fills the halo matrix rows (RecvIdx) with the neighbors' local
+// rows (their SendIdx) of src. src holds local rows; halo holds halo rows.
+// With NoExchange it is a no-op, leaving halo untouched.
+func (e *Exchanger) Forward(c *Comm, src, halo *tensor.Matrix) {
+	e.exchange(c, src, halo, false)
+}
+
+// Adjoint scatters the halo-row gradients (gathered from haloGrad at
+// RecvIdx) back into the neighbors' local-row gradients (accumulated into
+// srcGrad at SendIdx). It is the exact transpose of Forward.
+func (e *Exchanger) Adjoint(c *Comm, haloGrad, srcGrad *tensor.Matrix) {
+	e.exchange(c, haloGrad, srcGrad, true)
+}
+
+// exchange implements both directions. In the forward direction we gather
+// SendIdx rows from a and write received buffers into b at RecvIdx rows.
+// In the adjoint direction we gather RecvIdx rows from a and scatter-add
+// received buffers into b at SendIdx rows.
+func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
+	if e.Mode == NoExchange {
+		return
+	}
+	plan := e.Plan
+	cols := a.Cols
+	if b.Cols != cols {
+		panic(fmt.Sprintf("comm: exchange column mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	c.Stats.HaloExchanges++
+	start := time.Now()
+	defer func() { c.Stats.HaloSeconds += time.Since(start).Seconds() }()
+
+	gatherIdx := plan.SendIdx
+	scatterIdx := plan.RecvIdx
+	if adjoint {
+		gatherIdx, scatterIdx = plan.RecvIdx, plan.SendIdx
+	}
+
+	if e.packBuf == nil {
+		e.packBuf = make([][]float64, len(plan.Neighbors))
+	}
+	pack := func(k int) []float64 {
+		idx := gatherIdx[k]
+		need := len(idx) * cols
+		if cap(e.packBuf[k]) < need {
+			e.packBuf[k] = make([]float64, need)
+		}
+		buf := e.packBuf[k][:need]
+		for row, i := range idx {
+			copy(buf[row*cols:(row+1)*cols], a.Row(i))
+		}
+		return buf
+	}
+	unpack := func(k int, buf []float64) {
+		idx := scatterIdx[k]
+		if len(buf) < len(idx)*cols {
+			panic(fmt.Sprintf("comm: short halo buffer %d < %d", len(buf), len(idx)*cols))
+		}
+		for row, i := range idx {
+			seg := buf[row*cols : (row+1)*cols]
+			dst := b.Row(i)
+			if adjoint {
+				for j, v := range seg {
+					dst[j] += v
+				}
+			} else {
+				copy(dst, seg)
+			}
+		}
+	}
+
+	switch e.Mode {
+	case SendRecvMode:
+		tag := TagHaloForward
+		if adjoint {
+			tag = TagHaloAdjoint
+		}
+		for k, nb := range plan.Neighbors {
+			c.Send(nb, tag, pack(k))
+		}
+		for k, nb := range plan.Neighbors {
+			unpack(k, c.Recv(nb, tag))
+		}
+
+	case NeighborAllToAll:
+		send := make([][]float64, c.Size())
+		for k, nb := range plan.Neighbors {
+			send[nb] = pack(k)
+		}
+		recv := c.AllToAll(send)
+		for k, nb := range plan.Neighbors {
+			unpack(k, recv[nb])
+		}
+
+	case AllToAllMode:
+		// Uniform buffers: every pair exchanges MaxSendCount*cols
+		// floats, padding real payloads and sending zero "dummy"
+		// buffers between non-neighbors, as the paper's standard A2A
+		// configuration does.
+		width := plan.MaxSendCount * cols
+		send := make([][]float64, c.Size())
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst == c.rank {
+				continue
+			}
+			send[dst] = make([]float64, width)
+		}
+		for k, nb := range plan.Neighbors {
+			copy(send[nb], pack(k))
+		}
+		recv := c.AllToAll(send)
+		for k, nb := range plan.Neighbors {
+			unpack(k, recv[nb])
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package comm
+
+import "fmt"
+
+// AllReduceSumRing is the bandwidth-optimal ring AllReduce (reduce-scatter
+// followed by allgather), the algorithm collective libraries such as RCCL
+// use for large gradient buffers and the one the performance model
+// charges for. It is deterministic — each chunk is accumulated in a fixed
+// ring order — but the floating-point grouping differs from
+// AllReduceSum's rank-ordered reduction, so results may differ in the
+// last bits. Exposed as an ablation against the rank-ordered collective
+// (DESIGN.md decision 4); both satisfy the consistency tests at the
+// library's tolerance.
+func (c *Comm) AllReduceSumRing(buf []float64) {
+	c.Stats.AllReduces++
+	r := c.Size()
+	if r == 1 {
+		return
+	}
+	rank := c.Rank()
+	next := (rank + 1) % r
+	prev := (rank - 1 + r) % r
+
+	// Chunk boundaries: chunk i covers [bounds[i], bounds[i+1]).
+	bounds := make([]int, r+1)
+	for i := 0; i <= r; i++ {
+		bounds[i] = len(buf) * i / r
+	}
+	chunk := func(i int) []float64 {
+		i = ((i % r) + r) % r
+		return buf[bounds[i]:bounds[i+1]]
+	}
+
+	// Reduce-scatter: after step s, this rank has accumulated s+1
+	// contributions into chunk (rank-s). After r-1 steps it owns the
+	// fully reduced chunk (rank+1) mod r.
+	for s := 0; s < r-1; s++ {
+		c.Send(next, TagReduce, chunk(rank-s))
+		recv := c.Recv(prev, TagReduce)
+		dst := chunk(rank - s - 1)
+		if len(recv) != len(dst) {
+			panic(fmt.Sprintf("comm: ring chunk size mismatch %d vs %d", len(recv), len(dst)))
+		}
+		for i, v := range recv {
+			dst[i] += v
+		}
+	}
+	// Allgather: circulate the reduced chunks.
+	for s := 0; s < r-1; s++ {
+		c.Send(next, TagBcast, chunk(rank+1-s))
+		recv := c.Recv(prev, TagBcast)
+		copy(chunk(rank-s), recv)
+	}
+}

@@ -1,0 +1,107 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRingAllReduceMatchesRankOrdered(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		for _, n := range []int{1, 7, 64, 1000} {
+			type pair struct{ ring, ordered []float64 }
+			results, err := RunCollect(size, func(c *Comm) (pair, error) {
+				rng := rand.New(rand.NewSource(int64(c.Rank()*1000 + n)))
+				a := make([]float64, n)
+				for i := range a {
+					a[i] = rng.NormFloat64()
+				}
+				b := make([]float64, n)
+				copy(b, a)
+				c.AllReduceSumRing(a)
+				c.AllReduceSum(b)
+				return pair{ring: a, ordered: b}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, p := range results {
+				for i := range p.ring {
+					if math.Abs(p.ring[i]-p.ordered[i]) > 1e-12*(1+math.Abs(p.ordered[i])) {
+						t.Fatalf("size=%d n=%d rank=%d idx=%d: ring %v vs ordered %v",
+							size, n, r, i, p.ring[i], p.ordered[i])
+					}
+				}
+				// All ranks must agree bitwise with rank 0's ring result.
+				for i := range p.ring {
+					if p.ring[i] != results[0].ring[i] {
+						t.Fatalf("size=%d n=%d: ranks disagree at %d", size, n, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceDeterministic(t *testing.T) {
+	run := func() []float64 {
+		results, err := RunCollect(6, func(c *Comm) ([]float64, error) {
+			buf := make([]float64, 17)
+			rng := rand.New(rand.NewSource(int64(c.Rank())))
+			for i := range buf {
+				buf[i] = rng.NormFloat64() * math.Pow(10, float64(c.Rank()-3))
+			}
+			c.AllReduceSumRing(buf)
+			return buf, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ring AllReduce nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestRingAllReduceShortBuffer(t *testing.T) {
+	// Buffer shorter than the rank count: some chunks are empty.
+	results, err := RunCollect(8, func(c *Comm) ([]float64, error) {
+		buf := []float64{float64(c.Rank() + 1), 1}
+		c.AllReduceSumRing(buf)
+		return buf, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, buf := range results {
+		if buf[0] != 36 || buf[1] != 8 {
+			t.Fatalf("rank %d: %v, want [36 8]", r, buf)
+		}
+	}
+}
+
+func BenchmarkRingVsOrderedAllReduce(b *testing.B) {
+	for _, algo := range []string{"ordered", "ring"} {
+		b.Run(algo, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := Run(8, func(c *Comm) error {
+					buf := make([]float64, 91459) // large-model gradient size
+					if algo == "ring" {
+						c.AllReduceSumRing(buf)
+					} else {
+						c.AllReduceSum(buf)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/gnn"
+	"meshgnn/internal/perfmodel"
+)
+
+func TestStrongScalingShape(t *testing.T) {
+	pts, err := StrongScaling(perfmodel.Frontier(), 5, 32, []int{8, 64, 512},
+		gnn.LargeConfig(), DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("%d points", len(pts))
+	}
+	get := func(mode comm.ExchangeMode, r int) StrongScalingPoint {
+		for _, p := range pts {
+			if p.Mode == mode && p.Ranks == r {
+				return p
+			}
+		}
+		t.Fatalf("missing %v/%d", mode, r)
+		return StrongScalingPoint{}
+	}
+	// Iteration time must shrink with R for the baseline.
+	if get(comm.NoExchange, 512).IterTime >= get(comm.NoExchange, 8).IterTime {
+		t.Fatal("strong scaling did not reduce iteration time")
+	}
+	// Baseline speedup at R0 is 1 by definition.
+	if s := get(comm.NoExchange, 8).Speedup; s != 1 {
+		t.Fatalf("base speedup %v", s)
+	}
+	// Strong-scaling efficiency degrades faster for A2A than N-A2A.
+	if get(comm.AllToAllMode, 512).Efficiency >= get(comm.NeighborAllToAll, 512).Efficiency {
+		t.Fatal("A2A should lose efficiency faster than N-A2A under strong scaling")
+	}
+}
+
+func TestInferenceThroughputShape(t *testing.T) {
+	pts, err := InferenceThroughput(perfmodel.Frontier(), 5, Loading512k(),
+		[]int{8, 512, 2048}, gnn.LargeConfig(), DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Throughput <= 0 {
+			t.Fatalf("non-positive throughput: %+v", p)
+		}
+		if p.Mode == comm.NoExchange && p.Relative != 1 {
+			t.Fatalf("baseline relative %v", p.Relative)
+		}
+		if p.Relative > 1.0001 {
+			t.Fatalf("exchange mode faster than baseline: %+v", p)
+		}
+	}
+	// A2A at 2048 ranks must be markedly slower than N-A2A.
+	var a2a, na2a float64
+	for _, p := range pts {
+		if p.Ranks == 2048 && p.Mode == comm.AllToAllMode {
+			a2a = p.Relative
+		}
+		if p.Ranks == 2048 && p.Mode == comm.NeighborAllToAll {
+			na2a = p.Relative
+		}
+	}
+	if a2a >= na2a {
+		t.Fatalf("A2A relative %v should trail N-A2A %v", a2a, na2a)
+	}
+}
+
+func TestReducedGraphAblation(t *testing.T) {
+	rows, err := ReducedGraphAblation(5, 4, []int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.RawNodes <= r.CollapsedNodes {
+			t.Fatalf("R=%d: raw %d not larger than collapsed %d", r.Ranks, r.RawNodes, r.CollapsedNodes)
+		}
+		// At p=5 the duplication approaches (p+1)^3/p^3 = 1.728 for
+		// large meshes; it must exceed 1.3 even at this size.
+		if r.NodeDuplication < 1.3 || r.NodeDuplication > 1.8 {
+			t.Fatalf("R=%d: node duplication %v out of range", r.Ranks, r.NodeDuplication)
+		}
+		if r.EdgeDuplication < 1.0 || r.EdgeDuplication > 1.5 {
+			t.Fatalf("R=%d: edge duplication %v out of range", r.Ranks, r.EdgeDuplication)
+		}
+	}
+}
+
+func TestExtensionRenderers(t *testing.T) {
+	var sb strings.Builder
+	ss, err := StrongScaling(perfmodel.Frontier(), 3, 16, []int{8, 64}, gnn.SmallConfig(),
+		[]comm.ExchangeMode{comm.NoExchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderStrongScaling(&sb, ss)
+	inf, err := InferenceThroughput(perfmodel.Frontier(), 5, Loading256k(), []int{8},
+		gnn.SmallConfig(), DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderInference(&sb, inf)
+	rg, err := ReducedGraphAblation(3, 2, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderReducedGraph(&sb, rg)
+	for _, want := range []string{"speedup", "inference throughput", "duplication"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestLayerSweepShape(t *testing.T) {
+	pts, err := LayerSweep(perfmodel.Frontier(), 5, Loading512k(), 512,
+		gnn.LargeConfig(), []int{2, 4, 8}, DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// At every depth the baseline is 1 by definition and A2A trails
+	// N-A2A (its per-exchange cost at 512 ranks dominates).
+	rel := func(m int, mode comm.ExchangeMode) float64 {
+		for _, p := range pts {
+			if p.MPLayers == m && p.Mode == mode {
+				return p.Relative
+			}
+		}
+		t.Fatalf("missing %d/%v", m, mode)
+		return 0
+	}
+	for _, m := range []int{2, 4, 8} {
+		if rel(m, comm.NoExchange) != 1 {
+			t.Fatal("baseline relative must be 1")
+		}
+		if rel(m, comm.AllToAllMode) >= rel(m, comm.NeighborAllToAll) {
+			t.Fatalf("M=%d: A2A should trail N-A2A", m)
+		}
+	}
+	var sb strings.Builder
+	RenderLayerSweep(&sb, pts)
+	if !strings.Contains(sb.String(), "exchanges/step") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestHaloVolumeAccounting(t *testing.T) {
+	rows, err := HaloVolume(5, Loading512k(), []int{8, 2048}, gnn.LargeConfig(), DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(r int, mode comm.ExchangeMode) HaloVolumeRow {
+		for _, row := range rows {
+			if row.Ranks == r && row.Mode == mode {
+				return row
+			}
+		}
+		t.Fatalf("missing %d/%v", r, mode)
+		return HaloVolumeRow{}
+	}
+	if v := get(8, comm.NoExchange); v.BytesPerStep != 0 || v.MessagesPerStep != 0 {
+		t.Fatalf("no-exchange traffic %+v", v)
+	}
+	// N-A2A volume is loading-determined, not R-determined: identical
+	// useful bytes at 8 and 2048 ranks up to halo-count variation.
+	na8, na2048 := get(8, comm.NeighborAllToAll), get(2048, comm.NeighborAllToAll)
+	if na8.BytesPerStep <= 0 || na2048.BytesPerStep <= 0 {
+		t.Fatal("missing N-A2A traffic")
+	}
+	ratio := float64(na2048.BytesPerStep) / float64(na8.BytesPerStep)
+	if ratio > 4 {
+		t.Fatalf("N-A2A volume grew %vx from 8 to 2048 ranks", ratio)
+	}
+	// A2A volume explodes with R and is mostly dummy.
+	a8, a2048 := get(8, comm.AllToAllMode), get(2048, comm.AllToAllMode)
+	// Peers grow 256x from 8 to 2048 ranks; the per-peer uniform buffer
+	// shrinks somewhat as the partition switches from slabs to blocks,
+	// so the net growth is ~70x.
+	if a2048.BytesPerStep < 50*a8.BytesPerStep {
+		t.Fatalf("A2A volume should explode with R: %d -> %d", a8.BytesPerStep, a2048.BytesPerStep)
+	}
+	if a2048.DummyFraction < 0.9 {
+		t.Fatalf("A2A at 2048 ranks should be mostly dummy traffic: %v", a2048.DummyFraction)
+	}
+	var sb strings.Builder
+	RenderHaloVolume(&sb, rows)
+	if !strings.Contains(sb.String(), "dummy fraction") {
+		t.Fatal("render missing header")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/gnn"
+)
+
+// HaloVolumeRow accounts the per-rank, per-training-step halo traffic of
+// each exchange implementation — the byte-level view behind Figs. 7–8:
+// the consistent formulation's cost is exactly these buffers, 2M times
+// per step.
+type HaloVolumeRow struct {
+	Ranks int
+	Mode  comm.ExchangeMode
+	// MessagesPerStep counts point-to-point sends per rank per training
+	// step (2M exchanges).
+	MessagesPerStep int64
+	// BytesPerStep is the per-rank payload volume per training step.
+	BytesPerStep int64
+	// DummyFraction is the share of A2A traffic carried by padding and
+	// non-neighbor "dummy" buffers (zero for neighbor-aware modes).
+	DummyFraction float64
+}
+
+// HaloVolume computes the exact traffic accounting from the partition
+// geometry (fp32 wire format, as the paper's stack exchanges).
+func HaloVolume(p int, load Loading, rs []int, cfg gnn.Config, modes []comm.ExchangeMode) ([]HaloVolumeRow, error) {
+	const bytesPerFloat = 4
+	var out []HaloVolumeRow
+	for _, r := range rs {
+		w, _, err := scalingWorkload(p, load, r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		exchanges := int64(2 * w.MPLayers)
+		width := int64(w.Hidden) * bytesPerFloat
+		usefulBytes := w.HaloPerRank * width
+		for _, mode := range modes {
+			row := HaloVolumeRow{Ranks: r, Mode: mode}
+			switch mode {
+			case comm.NoExchange:
+				// nothing
+			case comm.NeighborAllToAll, comm.SendRecvMode:
+				row.MessagesPerStep = exchanges * int64(w.Neighbors)
+				row.BytesPerStep = exchanges * usefulBytes
+			case comm.AllToAllMode:
+				peers := int64(r - 1)
+				row.MessagesPerStep = exchanges * peers
+				row.BytesPerStep = exchanges * peers * w.MaxSendCount * width
+				if row.BytesPerStep > 0 {
+					row.DummyFraction = 1 - float64(exchanges*usefulBytes)/float64(row.BytesPerStep)
+				}
+			default:
+				return nil, fmt.Errorf("experiments: unknown mode %v", mode)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// RenderHaloVolume writes the traffic-accounting table.
+func RenderHaloVolume(w io.Writer, rows []HaloVolumeRow) {
+	fmt.Fprintln(w, "| ranks | mode | msgs/step/rank | bytes/step/rank | dummy fraction |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %d | %s | %d | %.3g | %.2f |\n",
+			r.Ranks, r.Mode, r.MessagesPerStep, float64(r.BytesPerStep), r.DummyFraction)
+	}
+}

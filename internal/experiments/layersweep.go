@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/gnn"
+	"meshgnn/internal/perfmodel"
+)
+
+// LayerSweepPoint is one point of the message-passing-depth sweep: the
+// paper notes each training step performs one halo exchange per NMP layer
+// per direction ("8 all_to_all communications ... for M=4"), so the
+// consistency overhead scales with M while the no-exchange baseline only
+// pays more compute. This sweep quantifies that trade.
+type LayerSweepPoint struct {
+	MPLayers  int
+	Mode      comm.ExchangeMode
+	Ranks     int
+	IterTime  float64
+	Exchanges int     // halo exchanges per training step (2M)
+	Relative  float64 // throughput vs no-exchange at the same M
+}
+
+// LayerSweep projects per-iteration time across message-passing depths
+// for the weak-scaling workload.
+func LayerSweep(m perfmodel.Machine, p int, load Loading, r int, base gnn.Config, depths []int, modes []comm.ExchangeMode) ([]LayerSweepPoint, error) {
+	var out []LayerSweepPoint
+	for _, depth := range depths {
+		cfg := base
+		cfg.MessagePassingLayers = depth
+		w, _, err := scalingWorkload(p, load, r, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("M=%d: %w", depth, err)
+		}
+		baseline := m.IterTime(w, comm.NoExchange)
+		for _, mode := range modes {
+			t := m.IterTime(w, mode)
+			out = append(out, LayerSweepPoint{
+				MPLayers:  depth,
+				Mode:      mode,
+				Ranks:     r,
+				IterTime:  t,
+				Exchanges: 2 * depth,
+				Relative:  baseline / t,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderLayerSweep writes the depth-sweep table.
+func RenderLayerSweep(w io.Writer, pts []LayerSweepPoint) {
+	fmt.Fprintln(w, "| NMP layers (M) | exchanges/step | mode | s/iter | relative to no-exchange |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, p := range pts {
+		fmt.Fprintf(w, "| %d | %d | %s | %.5f | %.3f |\n",
+			p.MPLayers, p.Exchanges, p.Mode, p.IterTime, p.Relative)
+	}
+}

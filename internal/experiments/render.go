@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"meshgnn/internal/comm"
+)
+
+// RenderFig6Left writes the Fig. 6 (left) rows as a markdown table.
+func RenderFig6Left(w io.Writer, rows []Fig6LeftRow) {
+	fmt.Fprintln(w, "| R | standard NMP loss | consistent NMP loss | R=1 target | standard deviation |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %d | %.10f | %.10f | %.10f | %.3e |\n",
+			r.R, r.Standard, r.Consistent, r.TargetR1, abs(r.Standard-r.TargetR1))
+	}
+}
+
+// RenderFig6Right writes sampled points of the three training curves.
+func RenderFig6Right(w io.Writer, res *Fig6RightResult, samples int) {
+	n := len(res.TargetR1)
+	if samples < 2 {
+		samples = 2
+	}
+	fmt.Fprintf(w, "| iteration | target (R=1) | standard MP (R=%d) | consistent MP (R=%d) |\n", res.R, res.R)
+	fmt.Fprintln(w, "|---|---|---|---|")
+	for s := 0; s < samples; s++ {
+		it := s * (n - 1) / (samples - 1)
+		fmt.Fprintf(w, "| %d | %.8f | %.8f | %.8f |\n",
+			it+1, res.TargetR1[it], res.Standard[it], res.Consistent[it])
+	}
+}
+
+// RenderTable1 writes the model-settings table.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "| GNN | hidden dim (N_H) | NMP layers (M) | MLP hidden layers | trainable parameters |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %d | %d | %d | %d |\n",
+			r.Name, r.HiddenDim, r.MPLayers, r.MLPHiddenLayers, r.Parameters)
+	}
+}
+
+// RenderTable2 writes the partition statistics table in the paper's
+// (min, max, avg) format with counts in thousands.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "| ranks | graph nodes 10³ (min,max,avg) | halo nodes 10³ (min,max,avg) | neighbors (min,max,avg) | total graph nodes |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %d | %.0f, %.0f, %.0f | %.1f, %.1f, %.1f | %d, %d, %.0f | %.3g |\n",
+			r.Ranks,
+			float64(r.NodesMin)/1e3, float64(r.NodesMax)/1e3, r.NodesAvg/1e3,
+			float64(r.HaloMin)/1e3, float64(r.HaloMax)/1e3, r.HaloAvg/1e3,
+			r.NeighborsMin, r.NeighborsMax, r.NeighborsAvg,
+			float64(r.TotalNodes))
+	}
+}
+
+// RenderFig7 writes the projected scaling series grouped by model and
+// loading, one row per (mode, R).
+func RenderFig7(w io.Writer, pts []ScalingPoint) {
+	groups := make(map[string][]ScalingPoint)
+	var keys []string
+	for _, p := range pts {
+		k := p.Model + " / " + p.Loading + " nodes per sub-graph"
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "\n**%s**\n\n", k)
+		fmt.Fprintln(w, "| mode | ranks | total graph nodes | throughput (nodes/s) | weak-scaling efficiency % | relative to no-exchange |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|")
+		for _, p := range groups[k] {
+			fmt.Fprintf(w, "| %s | %d | %.3g | %.3g | %.1f | %.3f |\n",
+				p.Mode, p.Ranks, float64(p.TotalNodes), p.Throughput, p.Efficiency, p.Relative)
+		}
+	}
+}
+
+// RenderMeasured writes the measured tier table.
+func RenderMeasured(w io.Writer, pts []MeasuredPoint) {
+	fmt.Fprintln(w, "| model | mode | ranks | nodes/rank | s/iter | throughput (nodes/s) | relative | msgs/iter | floats/iter |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|")
+	for _, p := range pts {
+		fmt.Fprintf(w, "| %s | %s | %d | %d | %.4f | %.3g | %.3f | %d | %d |\n",
+			p.Model, p.Mode, p.Ranks, p.NodesPerRank, p.SecPerIter, p.Throughput,
+			p.Relative, p.Messages, p.Floats)
+	}
+}
+
+// DefaultModes returns the exchange modes compared in the paper's figures.
+func DefaultModes() []comm.ExchangeMode {
+	return []comm.ExchangeMode{comm.NoExchange, comm.AllToAllMode, comm.NeighborAllToAll}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/gnn"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/partition"
+	"meshgnn/internal/perfmodel"
+)
+
+// Loading names the two per-rank graph sizes of the paper's weak-scaling
+// study (nominally 256k and 512k local nodes per rank at p=5).
+type Loading struct {
+	Name string
+	// Ex, Ey, Ez are elements per rank along each axis.
+	Ex, Ey, Ez int
+}
+
+// Loading512k is 16³ elements per rank at p=5: 518k local nodes,
+// matching the paper's "512k" rows (Table II reports 518k–540k).
+func Loading512k() Loading { return Loading{Name: "512k", Ex: 16, Ey: 16, Ez: 16} }
+
+// Loading256k is 13×13×12 elements per rank at p=5: ~259k local nodes.
+func Loading256k() Loading { return Loading{Name: "256k", Ex: 13, Ey: 13, Ez: 12} }
+
+// ScalingPoint is one point of the paper's Fig. 7 / Fig. 8 series.
+type ScalingPoint struct {
+	Model      string
+	Loading    string
+	Mode       comm.ExchangeMode
+	Ranks      int
+	TotalNodes int64
+	// Throughput is total graph nodes processed per second over one
+	// training iteration (Fig. 7, top).
+	Throughput float64
+	// Efficiency is the weak-scaling efficiency in percent relative to
+	// the smallest rank count in the sweep (Fig. 7, bottom).
+	Efficiency float64
+	// Relative is the throughput normalized by the no-exchange
+	// (inconsistent) model at the same configuration (Fig. 8).
+	Relative float64
+}
+
+// scalingWorkload derives the perfmodel workload for a weak-scaling
+// configuration from the exact partition statistics.
+func scalingWorkload(p int, load Loading, r int, cfg gnn.Config) (perfmodel.Workload, int64, error) {
+	strat := partition.Blocks
+	if r <= 8 {
+		strat = partition.Slabs
+	}
+	rx, ry, rz := rankGrid(r, strat)
+	box, err := mesh.NewBox(rx*load.Ex, ry*load.Ey, rz*load.Ez, p, [3]bool{true, true, true})
+	if err != nil {
+		return perfmodel.Workload{}, 0, err
+	}
+	cart, err := partition.NewCartesian(box, r, strat)
+	if err != nil {
+		return perfmodel.Workload{}, 0, err
+	}
+	stats := cart.CartesianStats()
+	edges := cart.CartesianEdgeCounts()
+	sum := partition.Summarize(box, stats)
+	var maxEdges int64
+	for _, e := range edges {
+		if e > maxEdges {
+			maxEdges = e
+		}
+	}
+	// Uniform A2A buffer rows: the largest per-neighbor share of halo
+	// nodes; bounded by the largest full-face exchange.
+	maxSend := int64(0)
+	for _, st := range stats {
+		if st.Neighbors > 0 {
+			if v := st.HaloNodes / int64(st.Neighbors); v > maxSend {
+				if v > maxSend {
+					maxSend = v
+				}
+			}
+		}
+	}
+	nodesPerRank := int64(sum.NodesAvg)
+	edgesPerRank := edges[0]
+	w := perfmodel.Workload{
+		Ranks:        r,
+		NodesPerRank: nodesPerRank,
+		EdgesPerRank: edgesPerRank,
+		HaloPerRank:  int64(sum.HaloAvg),
+		Neighbors:    int(sum.NeighborsAvg + 0.5),
+		MaxSendCount: maxSend,
+		Hidden:       cfg.HiddenDim,
+		MPLayers:     cfg.MessagePassingLayers,
+		Params:       cfg.ParamCount(),
+		FlopsPerIter: perfmodel.ModelFlops(cfg, nodesPerRank, edgesPerRank),
+	}
+	return w, box.NumNodes(), nil
+}
+
+// Fig7Frontier projects the weak-scaling study onto the machine model:
+// for each model size, loading, and exchange mode, it reports total
+// throughput and weak-scaling efficiency across the rank counts —
+// regenerating the four panels of the paper's Fig. 7. Fig. 8's relative
+// throughput is filled simultaneously.
+func Fig7Frontier(m perfmodel.Machine, p int, rs []int, loadings []Loading, cfgs []gnn.Config, modes []comm.ExchangeMode) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, cfg := range cfgs {
+		for _, load := range loadings {
+			// Baselines for efficiency (first R) and relative (none mode).
+			baseTP := make(map[comm.ExchangeMode]float64)
+			noneTP := make(map[int]float64)
+			for _, r := range rs {
+				w, _, err := scalingWorkload(p, load, r, cfg)
+				if err != nil {
+					return nil, err
+				}
+				noneTP[r] = m.Throughput(w, comm.NoExchange)
+			}
+			for _, mode := range modes {
+				for i, r := range rs {
+					w, total, err := scalingWorkload(p, load, r, cfg)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/%v R=%d: %w", cfg.Name, load.Name, mode, r, err)
+					}
+					tp := m.Throughput(w, mode)
+					if i == 0 {
+						baseTP[mode] = tp / float64(r)
+					}
+					out = append(out, ScalingPoint{
+						Model:      cfg.Name,
+						Loading:    load.Name,
+						Mode:       mode,
+						Ranks:      r,
+						TotalNodes: total,
+						Throughput: tp,
+						Efficiency: 100 * tp / (float64(r) * baseTP[mode]),
+						Relative:   tp / noneTP[r],
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MeasuredPoint is one point of the measured (goroutine-rank) tier.
+type MeasuredPoint struct {
+	Model        string
+	Mode         comm.ExchangeMode
+	Ranks        int
+	NodesPerRank int64
+	SecPerIter   float64
+	// Throughput is total nodes/sec across ranks. On a single host the
+	// ranks time-share cores, so absolute weak scaling is not
+	// meaningful; the Relative column (vs no-exchange at the same R) is.
+	Throughput float64
+	Relative   float64
+	// Messages and Floats are rank-0 sends per iteration, the exact
+	// traffic the perfmodel charges for.
+	Messages int64
+	Floats   int64
+}
+
+// Fig7Measured runs the real distributed trainer on goroutine ranks over
+// a small weak-scaling sweep, recording wall time and exact traffic. The
+// relative-throughput column reproduces Fig. 8's comparison directly from
+// measurements; the traffic counters validate the perfmodel's message
+// accounting.
+func Fig7Measured(p, elemsPerRank int, rs []int, cfg gnn.Config, modes []comm.ExchangeMode, iters int) ([]MeasuredPoint, error) {
+	var out []MeasuredPoint
+	for _, r := range rs {
+		strat := partition.Blocks
+		if r <= 8 {
+			strat = partition.Slabs
+		}
+		rx, ry, rz := rankGrid(r, strat)
+		box, err := mesh.NewBox(rx*elemsPerRank, ry*elemsPerRank, rz*elemsPerRank, p,
+			[3]bool{true, true, true})
+		if err != nil {
+			return nil, err
+		}
+		var noneTP float64
+		for _, mode := range append([]comm.ExchangeMode{comm.NoExchange}, modes...) {
+			sec, stats, nodes, err := measuredStep(box, r, mode, cfg, iters)
+			if err != nil {
+				return nil, fmt.Errorf("R=%d mode %v: %w", r, mode, err)
+			}
+			tp := float64(r) * float64(nodes) / sec
+			if mode == comm.NoExchange {
+				noneTP = tp
+			}
+			out = append(out, MeasuredPoint{
+				Model:        cfg.Name,
+				Mode:         mode,
+				Ranks:        r,
+				NodesPerRank: nodes,
+				SecPerIter:   sec,
+				Throughput:   tp,
+				Relative:     tp / noneTP,
+				Messages:     stats.MessagesSent / int64(iters),
+				Floats:       stats.FloatsSent / int64(iters),
+			})
+		}
+	}
+	return out, nil
+}

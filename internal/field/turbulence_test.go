@@ -1,0 +1,120 @@
+package field
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func turb() *SyntheticTurbulence {
+	return NewSyntheticTurbulence(24, 1, 0.01, 0.5, 7)
+}
+
+func TestTurbulenceDeterministic(t *testing.T) {
+	a, b := turb(), turb()
+	u1, v1, w1 := a.Eval(0.3, 0.7, 0.2, 0.5)
+	u2, v2, w2 := b.Eval(0.3, 0.7, 0.2, 0.5)
+	if u1 != u2 || v1 != v2 || w1 != w2 {
+		t.Fatal("same seed must give identical fields")
+	}
+	c := NewSyntheticTurbulence(24, 1, 0.01, 0.5, 8)
+	u3, _, _ := c.Eval(0.3, 0.7, 0.2, 0.5)
+	if u3 == u1 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTurbulenceDivergenceFree(t *testing.T) {
+	f := turb()
+	check := func(xr, yr, zr, tr uint16) bool {
+		x := float64(xr) / 65535
+		y := float64(yr) / 65535
+		z := float64(zr) / 65535
+		tt := float64(tr) / 65535
+		return math.Abs(Divergence(f, x, y, z, tt, 1e-5)) < 1e-5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTurbulencePeriodic(t *testing.T) {
+	f := turb()
+	u1, v1, w1 := f.Eval(0.21, 0.43, 0.87, 0.3)
+	u2, v2, w2 := f.Eval(1.21, -0.57, 2.87, 0.3)
+	if math.Abs(u1-u2) > 1e-10 || math.Abs(v1-v2) > 1e-10 || math.Abs(w1-w2) > 1e-10 {
+		t.Fatalf("field not periodic: (%v,%v,%v) vs (%v,%v,%v)", u1, v1, w1, u2, v2, w2)
+	}
+}
+
+func TestTurbulenceRMSNormalization(t *testing.T) {
+	f := turb()
+	// Monte-Carlo estimate of the RMS over the box at t=0.
+	var ms float64
+	n := 0
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			u, v, w := f.Eval(float64(i)/20, float64(j)/20, float64(i+j)/40, 0)
+			ms += u*u + v*v + w*w
+			n++
+		}
+	}
+	rms := math.Sqrt(ms / float64(n))
+	if rms < 0.3 || rms > 0.8 {
+		t.Fatalf("RMS %v, requested 0.5", rms)
+	}
+}
+
+func TestTurbulenceViscousDecay(t *testing.T) {
+	f := turb()
+	e0 := sampleEnergy(f, 0)
+	e1 := sampleEnergy(f, 2)
+	if e1 >= e0 {
+		t.Fatalf("turbulence did not decay: %v -> %v", e0, e1)
+	}
+}
+
+func sampleEnergy(f Field, t float64) float64 {
+	var e float64
+	for i := 0; i < 64; i++ {
+		x := float64(i%4) / 4
+		y := float64((i/4)%4) / 4
+		z := float64(i/16) / 4
+		u, v, w := f.Eval(x, y, z, t)
+		e += u*u + v*v + w*w
+	}
+	return e
+}
+
+func TestTurbulenceSpectrumSlope(t *testing.T) {
+	f := NewSyntheticTurbulence(200, 1, 0.01, 1, 3)
+	kmag, energy := f.Spectrum()
+	// Bin by |k| and verify energy decreases with k on average.
+	low, high := 0.0, 0.0
+	var nLow, nHigh int
+	base := 2 * math.Pi
+	for i, k := range kmag {
+		if k <= 2*base {
+			low += energy[i]
+			nLow++
+		}
+		if k >= 4*base {
+			high += energy[i]
+			nHigh++
+		}
+	}
+	if nLow == 0 || nHigh == 0 {
+		t.Skip("spectrum bins empty at this seed")
+	}
+	if low/float64(nLow) <= high/float64(nHigh) {
+		t.Fatalf("spectrum not decaying: low %v high %v", low/float64(nLow), high/float64(nHigh))
+	}
+}
+
+func TestTurbulenceMinModes(t *testing.T) {
+	f := NewSyntheticTurbulence(0, 1, 0.01, 1, 1) // clamped to 1 mode
+	u, v, w := f.Eval(0.1, 0.2, 0.3, 0)
+	if u == 0 && v == 0 && w == 0 {
+		t.Fatal("degenerate single-mode field")
+	}
+}

@@ -1,0 +1,223 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/tensor"
+)
+
+func attentionConfig() Config {
+	cfg := tinyConfig()
+	cfg.Attention = true
+	cfg.Seed = 21
+	return cfg
+}
+
+func TestAttentionParamCountMatchesBuild(t *testing.T) {
+	cfg := attentionConfig()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() != cfg.ParamCount() {
+		t.Fatalf("built %d params, formula %d", m.NumParams(), cfg.ParamCount())
+	}
+	// Attention must add parameters over the plain NMP model.
+	plain := cfg
+	plain.Attention = false
+	if cfg.ParamCount() <= plain.ParamCount() {
+		t.Fatal("attention config should add score-MLP parameters")
+	}
+}
+
+// Eq. 2 for the attention layer: the distributed edge-softmax must span
+// full cross-rank neighborhoods, making outputs partition-invariant.
+func TestAttentionOutputConsistency(t *testing.T) {
+	box, err := mesh.NewBox(4, 4, 2, 2, [3]bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := attentionConfig()
+	ref := runForwardLoss(t, box, 1, comm.NeighborAllToAll, cfg, false)
+	for _, mode := range []comm.ExchangeMode{comm.AllToAllMode, comm.NeighborAllToAll, comm.SendRecvMode} {
+		for _, r := range []int{2, 4, 8} {
+			got := runForwardLoss(t, box, r, mode, cfg, false)
+			if d := got.output.MaxAbsDiff(ref.output); d > 1e-11 {
+				t.Fatalf("mode %v R=%d: attention output deviates by %g", mode, r, d)
+			}
+		}
+	}
+}
+
+// Eq. 3 for the attention layer: gradients through the softmax
+// normalization and both halo exchanges must be partition-invariant.
+func TestAttentionGradientConsistency(t *testing.T) {
+	box, err := mesh.NewBox(4, 2, 2, 1, [3]bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := attentionConfig()
+	ref := runForwardLoss(t, box, 1, comm.NeighborAllToAll, cfg, true)
+	var refNorm float64
+	for _, g := range ref.grads {
+		refNorm += g * g
+	}
+	refNorm = math.Sqrt(refNorm)
+	if refNorm == 0 {
+		t.Fatal("zero reference gradient")
+	}
+	for _, r := range []int{2, 4} {
+		got := runForwardLoss(t, box, r, comm.SendRecvMode, cfg, true)
+		var diff float64
+		for i := range ref.grads {
+			d := got.grads[i] - ref.grads[i]
+			diff += d * d
+		}
+		if rel := math.Sqrt(diff) / refNorm; rel > 1e-9 {
+			t.Fatalf("R=%d: attention gradients deviate rel %g", r, rel)
+		}
+	}
+}
+
+// Without the halo exchange the attention softmax normalizes over
+// truncated neighborhoods and must deviate.
+func TestAttentionInconsistentWithoutExchange(t *testing.T) {
+	box, err := mesh.NewBox(4, 2, 2, 1, [3]bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := attentionConfig()
+	ref := runForwardLoss(t, box, 1, comm.NeighborAllToAll, cfg, false)
+	got := runForwardLoss(t, box, 4, comm.NoExchange, cfg, false)
+	if math.Abs(got.loss-ref.loss) < 1e-9 {
+		t.Fatal("no-exchange attention unexpectedly consistent")
+	}
+}
+
+// End-to-end analytic gradients of the attention model against Richardson
+// finite differences (single rank, covering softmax, packed exchange, and
+// the score/value MLP sharing).
+func TestAttentionGradientsFiniteDifference(t *testing.T) {
+	cfg := attentionConfig()
+	box, l := singleRankSetup(t, cfg)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NeighborAllToAll)
+		if err != nil {
+			return err
+		}
+		model, err := NewModel(cfg)
+		if err != nil {
+			return err
+		}
+		x := waveField(rc.Graph)
+		var loss ConsistentMSE
+		model.ZeroGrads()
+		y := model.Forward(rc, x)
+		loss.Forward(rc, y, x)
+		model.Backward(loss.Backward())
+
+		eval := func() float64 {
+			y := model.Forward(rc, x)
+			var l2 ConsistentMSE
+			return l2.Forward(rc, y, x)
+		}
+		for _, p := range model.Params() {
+			stride := len(p.W.Data)/3 + 1
+			for i := 0; i < len(p.W.Data); i += stride {
+				fd := richardsonFD(func(d float64) float64 {
+					orig := p.W.Data[i]
+					p.W.Data[i] = orig + d
+					v := eval()
+					p.W.Data[i] = orig
+					return v
+				})
+				if math.Abs(fd-p.G.Data[i]) > 1e-6*(1+math.Abs(fd)) {
+					t.Fatalf("%s[%d]: analytic %v, fd %v", p.Name, i, p.G.Data[i], fd)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Attention weights are a convex combination: with all scores equal the
+// layer must reduce to the plain neighborhood mean of the values.
+func TestAttentionUniformScoresGiveMean(t *testing.T) {
+	box, l := singleRankSetup(t, attentionConfig())
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		cfg := attentionConfig()
+		layer := NewAttentionLayer("t", cfg.HiddenDim, cfg.MLPHiddenLayers, cfg.newRNG())
+		// Zero the score MLP so every edge gets the same score (its bias).
+		for _, p := range layer.ScoreMLP.Params() {
+			p.W.Zero()
+		}
+		h := cfg.HiddenDim
+		x := waveFieldWidth(rc.Graph, h)
+		e := waveFieldWidth2(rc.Graph.NumEdges(), h)
+		xOut, _ := layer.Forward(rc, x, e)
+		// Reference: node update on the plain mean of values.
+		vals := layer.vals
+		for i := 0; i < rc.Graph.NumLocal(); i++ {
+			var count float64
+			mean := make([]float64, h)
+			for k, ed := range rc.Graph.Edges {
+				if ed[1] != i {
+					continue
+				}
+				count++
+				for c := 0; c < h; c++ {
+					mean[c] += vals.At(k, c)
+				}
+			}
+			if count == 0 {
+				continue
+			}
+			for c := 0; c < h; c++ {
+				if math.Abs(layer.att.At(i, c)-mean[c]/count) > 1e-10 {
+					t.Fatalf("node %d: attention %v != mean %v", i, layer.att.At(i, c), mean[c]/count)
+				}
+			}
+		}
+		_ = xOut
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waveFieldWidth produces an h-wide smooth node feature matrix from the
+// graph coordinates.
+func waveFieldWidth(g *graph.Local, h int) *tensor.Matrix {
+	x := tensor.New(g.NumLocal(), h)
+	for i := 0; i < g.NumLocal(); i++ {
+		cx, cy, cz := g.Coords.At(i, 0), g.Coords.At(i, 1), g.Coords.At(i, 2)
+		for c := 0; c < h; c++ {
+			f := float64(c + 1)
+			x.Set(i, c, math.Sin(f*cx+0.3)*math.Cos(1.3*f*cy)+0.2*math.Sin(0.7*f*cz))
+		}
+	}
+	return x
+}
+
+// waveFieldWidth2 produces an h-wide deterministic edge feature matrix.
+func waveFieldWidth2(rows, h int) *tensor.Matrix {
+	e := tensor.New(rows, h)
+	for i := 0; i < rows; i++ {
+		for c := 0; c < h; c++ {
+			e.Set(i, c, math.Sin(float64(i)*0.13+float64(c)*0.7))
+		}
+	}
+	return e
+}

@@ -1,0 +1,151 @@
+package gnn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/nn"
+)
+
+// Exact resumption: train k steps, checkpoint, train k more; versus train
+// 2k steps straight. The two final parameter sets must be bitwise equal —
+// Adam moments and step counters included.
+func TestTrainingResumptionExact(t *testing.T) {
+	cfg := tinyConfig()
+	box, l := singleRankSetup(t, cfg)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		x := waveField(rc.Graph)
+
+		// Uninterrupted run: 6 steps.
+		mA, _ := NewModel(cfg)
+		trA := NewTrainer(mA, nn.NewAdam(1e-2))
+		for i := 0; i < 6; i++ {
+			trA.Step(rc, x, x)
+		}
+
+		// Interrupted run: 3 steps, checkpoint, restore, 3 more steps.
+		mB, _ := NewModel(cfg)
+		trB := NewTrainer(mB, nn.NewAdam(1e-2))
+		for i := 0; i < 3; i++ {
+			trB.Step(rc, x, x)
+		}
+		var buf bytes.Buffer
+		if err := SaveTrainingState(&buf, trB); err != nil {
+			return err
+		}
+		trC, err := LoadTrainingState(&buf, nn.NewAdam(1e-2))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			trC.Step(rc, x, x)
+		}
+
+		pa, pc := trA.Model.Params(), trC.Model.Params()
+		for i := range pa {
+			if !pa[i].W.Equal(pc[i].W) {
+				t.Errorf("parameter %s differs after resume (max diff %g)",
+					pa[i].Name, pa[i].W.MaxAbsDiff(pc[i].W))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SGD with momentum must also resume exactly.
+func TestTrainingResumptionSGDMomentum(t *testing.T) {
+	cfg := tinyConfig()
+	box, l := singleRankSetup(t, cfg)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		x := waveField(rc.Graph)
+		mk := func() *Trainer {
+			m, _ := NewModel(cfg)
+			return NewTrainer(m, &nn.SGD{LR: 0.02, Momentum: 0.9})
+		}
+		trA := mk()
+		for i := 0; i < 4; i++ {
+			trA.Step(rc, x, x)
+		}
+		trB := mk()
+		trB.Step(rc, x, x)
+		trB.Step(rc, x, x)
+		var buf bytes.Buffer
+		if err := SaveTrainingState(&buf, trB); err != nil {
+			return err
+		}
+		trC, err := LoadTrainingState(&buf, &nn.SGD{LR: 0.02, Momentum: 0.9})
+		if err != nil {
+			return err
+		}
+		trC.Step(rc, x, x)
+		trC.Step(rc, x, x)
+		pa, pc := trA.Model.Params(), trC.Model.Params()
+		for i := range pa {
+			if !pa[i].W.Equal(pc[i].W) {
+				t.Errorf("SGD-momentum resume diverged at %s", pa[i].Name)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The restored step counter must keep schedules aligned.
+func TestResumptionPreservesSchedulePhase(t *testing.T) {
+	cfg := tinyConfig()
+	box, l := singleRankSetup(t, cfg)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		x := waveField(rc.Graph)
+		m, _ := NewModel(cfg)
+		opt := nn.NewSGD(1)
+		tr := NewTrainer(m, opt)
+		tr.Schedule = nn.StepDecay{Base: 0.1, Gamma: 0.1, Every: 2}
+		tr.Step(rc, x, x)
+		tr.Step(rc, x, x) // step counter now 2
+		var buf bytes.Buffer
+		if err := SaveTrainingState(&buf, tr); err != nil {
+			return err
+		}
+		opt2 := nn.NewSGD(1)
+		tr2, err := LoadTrainingState(&buf, opt2)
+		if err != nil {
+			return err
+		}
+		tr2.Schedule = nn.StepDecay{Base: 0.1, Gamma: 0.1, Every: 2}
+		tr2.Step(rc, x, x) // step index 2 -> rate 0.01
+		if math.Abs(opt2.LR-0.01) > 1e-15 {
+			t.Errorf("schedule phase lost: LR %v, want 0.01", opt2.LR)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadTrainingStateCorrupt(t *testing.T) {
+	if _, err := LoadTrainingState(bytes.NewReader([]byte("junk")), nn.NewAdam(1e-3)); err == nil {
+		t.Fatal("expected error")
+	}
+}

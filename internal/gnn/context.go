@@ -1,0 +1,76 @@
+package gnn
+
+import (
+	"fmt"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/tensor"
+)
+
+// RankContext bundles everything one rank needs to run the distributed
+// GNN: its communicator, its sub-graph, the halo exchanger, and the static
+// (geometry-derived) edge attributes.
+type RankContext struct {
+	Comm  *comm.Comm
+	Graph *graph.Local
+	Ex    *comm.Exchanger
+	// StaticEdge holds [dx, dy, dz, |d|] per directed edge.
+	StaticEdge *tensor.Matrix
+	// Neff is the effective global node count Σ 1/d_i reduced over all
+	// ranks (paper Eq. 6c); computed once at setup.
+	Neff float64
+}
+
+// NewRankContext wires a rank's context: it finalizes the halo plan
+// (computing the global maximum send count the uniform-buffer A2A mode
+// needs), builds the exchanger, precomputes static edge features, and
+// reduces N_eff. It must be called collectively by all ranks.
+func NewRankContext(c *comm.Comm, box *mesh.Box, l *graph.Local, mode comm.ExchangeMode) (*RankContext, error) {
+	if l.Rank != c.Rank() {
+		return nil, fmt.Errorf("gnn: graph rank %d handed to comm rank %d", l.Rank, c.Rank())
+	}
+	comm.FinalizePlan(c, l.Plan)
+	ex, err := comm.NewExchanger(mode, l.Plan)
+	if err != nil {
+		return nil, err
+	}
+	var neff float64
+	for _, d := range l.NodeDegree {
+		neff += 1 / d
+	}
+	buf := []float64{neff}
+	c.AllReduceSum(buf)
+	return &RankContext{
+		Comm:       c,
+		Graph:      l,
+		Ex:         ex,
+		StaticEdge: l.StaticEdgeFeatures(box),
+		Neff:       buf[0],
+	}, nil
+}
+
+// EdgeInputs assembles the raw edge-attribute matrix for the given input
+// node features under the configured mode. For EdgeFeatures7 the first
+// three columns are the relative input node features x_dst - x_src (the
+// paper's "relative node features"); the remaining four are the static
+// geometry columns.
+func (rc *RankContext) EdgeInputs(mode EdgeFeatureMode, x *tensor.Matrix) *tensor.Matrix {
+	switch mode {
+	case EdgeFeatures4:
+		return rc.StaticEdge
+	case EdgeFeatures7:
+		out := tensor.New(rc.Graph.NumEdges(), 7)
+		for k, e := range rc.Graph.Edges {
+			row := out.Row(k)
+			xs, xd := x.Row(e[0]), x.Row(e[1])
+			for j := 0; j < 3 && j < len(xs); j++ {
+				row[j] = xd[j] - xs[j]
+			}
+			copy(row[3:], rc.StaticEdge.Row(k))
+		}
+		return out
+	}
+	panic(fmt.Sprintf("gnn: unsupported edge mode %d", mode))
+}

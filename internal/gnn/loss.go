@@ -1,0 +1,140 @@
+package gnn
+
+import (
+	"fmt"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/tensor"
+)
+
+// ConsistentMSE implements the paper's consistent loss (Eq. 6):
+//
+//	L = AllReduce(S_r) / (N_eff · F_y),   S_r = Σ_i Σ_j (Y - Ŷ)²_{ij} / d_i
+//
+// Squared errors are scaled by the inverse node degree so coincident nodes
+// appearing on several ranks contribute exactly once, and the
+// normalization uses the effective node count N_eff = AllReduce(Σ 1/d_i),
+// which equals the unpartitioned node count N. Evaluated on R ranks it
+// recovers the R=1 MSE loss of Eq. 5 exactly.
+//
+// The forward pass performs one AllReduce (N_eff is precomputed in the
+// RankContext); the backward pass needs none — the reduction is linear, so
+// each rank's output gradient is purely local.
+type ConsistentMSE struct {
+	// diff caches Y-Ŷ for the backward pass.
+	diff *tensor.Matrix
+	rc   *RankContext
+}
+
+// Forward returns the consistent loss. y and target are
+// NumLocal×F_y node attribute matrices; all ranks must call collectively.
+func (l *ConsistentMSE) Forward(rc *RankContext, y, target *tensor.Matrix) float64 {
+	if y.Rows != target.Rows || y.Cols != target.Cols {
+		panic(fmt.Sprintf("gnn: loss shapes %dx%d vs %dx%d", y.Rows, y.Cols, target.Rows, target.Cols))
+	}
+	if y.Rows != rc.Graph.NumLocal() {
+		panic(fmt.Sprintf("gnn: loss rows %d, want %d local nodes", y.Rows, rc.Graph.NumLocal()))
+	}
+	l.rc = rc
+	l.diff = tensor.New(y.Rows, y.Cols)
+	var s float64
+	for i := 0; i < y.Rows; i++ {
+		inv := 1 / rc.Graph.NodeDegree[i]
+		yr, tr, dr := y.Row(i), target.Row(i), l.diff.Row(i)
+		for j := range yr {
+			d := yr[j] - tr[j]
+			dr[j] = d
+			s += inv * d * d
+		}
+	}
+	buf := []float64{s}
+	rc.Comm.AllReduceSum(buf)
+	return buf[0] / (rc.Neff * float64(y.Cols))
+}
+
+// Backward returns dL/dY for the most recent Forward.
+func (l *ConsistentMSE) Backward() *tensor.Matrix {
+	if l.diff == nil {
+		panic("gnn: ConsistentMSE.Backward before Forward")
+	}
+	dy := tensor.New(l.diff.Rows, l.diff.Cols)
+	scale := 2 / (l.rc.Neff * float64(l.diff.Cols))
+	for i := 0; i < dy.Rows; i++ {
+		inv := scale / l.rc.Graph.NodeDegree[i]
+		src, dst := l.diff.Row(i), dy.Row(i)
+		for j, v := range src {
+			dst[j] = inv * v
+		}
+	}
+	return dy
+}
+
+// LocalMSE is the standard per-rank mean-squared error (paper Eq. 5
+// evaluated independently per sub-graph) — the *inconsistent* formulation
+// used to demonstrate what degree scaling fixes. Exposed for ablations.
+func LocalMSE(y, target *tensor.Matrix) float64 {
+	if y.Rows != target.Rows || y.Cols != target.Cols {
+		panic("gnn: LocalMSE shape mismatch")
+	}
+	var s float64
+	for i, v := range y.Data {
+		d := v - target.Data[i]
+		s += d * d
+	}
+	return s / float64(len(y.Data))
+}
+
+// GlobalOutputs concatenates per-rank outputs by global node ID with
+// coincident duplicates collapsed, reconstructing the unpartitioned
+// output matrix (the "cat" of paper Eq. 2). Rank 0 returns the assembled
+// matrix (rows indexed by global ID); other ranks return nil. Coincident
+// copies must agree; the maximum discrepancy across duplicates is
+// returned on rank 0 as a consistency diagnostic.
+func GlobalOutputs(rc *RankContext, y *tensor.Matrix, globalNodes int64) (*tensor.Matrix, float64) {
+	c := rc.Comm
+	cols := y.Cols
+	// Serialize (gid, row...) tuples to rank 0.
+	local := make([]float64, 0, y.Rows*(cols+1))
+	for i := 0; i < y.Rows; i++ {
+		local = append(local, float64(rc.Graph.GlobalIDs[i]))
+		local = append(local, y.Row(i)...)
+	}
+	if c.Rank() != 0 {
+		c.Send(0, comm.TagUser, local)
+		return nil, 0
+	}
+	out := tensor.New(int(globalNodes), cols)
+	filled := make([]bool, globalNodes)
+	var maxDisc float64
+	absorb := func(buf []float64) {
+		for off := 0; off+cols < len(buf)+1; off += cols + 1 {
+			gid := int(buf[off])
+			row := buf[off+1 : off+1+cols]
+			dst := out.Row(gid)
+			if filled[gid] {
+				for j, v := range row {
+					if d := abs(v - dst[j]); d > maxDisc {
+						maxDisc = d
+					}
+				}
+				continue
+			}
+			copy(dst, row)
+			filled[gid] = true
+		}
+	}
+	absorb(local)
+	for src := 1; src < c.Size(); src++ {
+		absorb(c.Recv(src, comm.TagUser))
+	}
+	// Masked meshes leave lattice IDs with no owning element; their rows
+	// stay zero, which compares equal across assemblies of the same mesh.
+	return out, maxDisc
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

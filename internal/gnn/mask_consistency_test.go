@@ -1,0 +1,96 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/partition"
+)
+
+// Consistency on masked (topology-modified) domains: an L-shaped duct
+// partitioned by RCB must evaluate identically to its unpartitioned form.
+func TestConsistencyOnMaskedDomain(t *testing.T) {
+	box, err := mesh.NewBox(4, 4, 2, 2, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.SetMask(func(e, f, g int) bool { return !(e >= 2 && f >= 2) }); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+
+	eval := func(part partition.Partition) float64 {
+		locals, err := graph.BuildAll(box, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.ValidateAll(locals); err != nil {
+			t.Fatal(err)
+		}
+		results, err := comm.RunCollect(part.NumRanks(), func(c *comm.Comm) (float64, error) {
+			rc, err := NewRankContext(c, box, locals[c.Rank()], comm.SendRecvMode)
+			if err != nil {
+				return 0, err
+			}
+			model, err := NewModel(cfg)
+			if err != nil {
+				return 0, err
+			}
+			x := waveField(rc.Graph)
+			y := model.Forward(rc, x)
+			var loss ConsistentMSE
+			return loss.Forward(rc, y, x), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+
+	single, err := partition.NewRCB(box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := eval(single)
+	for _, r := range []int{2, 4, 6} {
+		rcb, err := partition.NewRCB(box, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eval(rcb)
+		if rel := math.Abs(got-ref) / (1 + ref); rel > 1e-12 {
+			t.Fatalf("masked domain R=%d: loss deviates rel %g", r, rel)
+		}
+	}
+}
+
+// The masked region must actually be absent from the graph. (At p >= 2
+// an interior element owns exclusive interior nodes; at p=1 every node of
+// an interior element is shared with its neighbors and nothing would
+// disappear.)
+func TestMaskedGraphExcludesHole(t *testing.T) {
+	box, err := mesh.NewBox(4, 4, 1, 2, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := graph.BuildSingle(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.SetMask(func(e, f, g int) bool { return !(e == 1 && f == 1) }); err != nil {
+		t.Fatal(err)
+	}
+	masked, err := graph.BuildSingle(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.NumLocal() >= full.NumLocal() {
+		t.Fatalf("masked graph has %d nodes, full has %d", masked.NumLocal(), full.NumLocal())
+	}
+	if int64(masked.NumLocal()) != box.NumActiveNodes() {
+		t.Fatalf("graph nodes %d != active nodes %d", masked.NumLocal(), box.NumActiveNodes())
+	}
+}

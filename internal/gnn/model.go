@@ -1,0 +1,115 @@
+package gnn
+
+import (
+	"fmt"
+
+	"meshgnn/internal/nn"
+	"meshgnn/internal/tensor"
+)
+
+// Model is the encode-process-decode GNN (paper Sec. III):
+//
+//  1. node and edge encoders lift inputs to HiddenDim (purely local);
+//  2. M consistent NMP layers propagate messages, exchanging halos;
+//  3. a node decoder maps hidden features to the output width.
+//
+// A Model is rank-agnostic: the same parameters (identical on every rank
+// by deterministic seeding) evaluate any rank's sub-graph through a
+// RankContext. That is the paper's setup — θ does not depend on r.
+type Model struct {
+	Config Config
+
+	NodeEncoder *nn.MLP
+	EdgeEncoder *nn.MLP
+	Layers      []ProcessorLayer
+	Decoder     *nn.MLP
+
+	params []*nn.Param
+	lastNe int // edge count of the most recent Forward, for Backward
+}
+
+// ProcessorLayer is the contract shared by the consistent NMP layer and
+// the consistent attention layer: a collective forward over (node, edge)
+// hidden features and its reverse-mode backward.
+type ProcessorLayer interface {
+	Forward(rc *RankContext, x, e *tensor.Matrix) (xOut, eOut *tensor.Matrix)
+	Backward(dxOut, deOut *tensor.Matrix) (dx, de *tensor.Matrix)
+	Params() []*nn.Param
+}
+
+// NewModel builds a model from the configuration with deterministic
+// initialization.
+func NewModel(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := cfg.newRNG()
+	h := cfg.HiddenDim
+	m := &Model{Config: cfg}
+	m.NodeEncoder = nn.NewMLP("enc.node", cfg.InputNodeFeatures, h, h, cfg.MLPHiddenLayers, true, rng)
+	m.EdgeEncoder = nn.NewMLP("enc.edge", int(cfg.EdgeMode), h, h, cfg.MLPHiddenLayers, true, rng)
+	for i := 0; i < cfg.MessagePassingLayers; i++ {
+		if cfg.Attention {
+			m.Layers = append(m.Layers, NewAttentionLayer(fmt.Sprintf("att%d", i), h, cfg.MLPHiddenLayers, rng))
+		} else {
+			m.Layers = append(m.Layers, NewNMPLayer(fmt.Sprintf("nmp%d", i), h, cfg.MLPHiddenLayers, rng))
+		}
+	}
+	m.Decoder = nn.NewMLP("dec.node", h, h, cfg.OutputNodeFeatures, cfg.MLPHiddenLayers, false, rng)
+
+	m.params = append(m.params, m.NodeEncoder.Params()...)
+	m.params = append(m.params, m.EdgeEncoder.Params()...)
+	for _, l := range m.Layers {
+		m.params = append(m.params, l.Params()...)
+	}
+	m.params = append(m.params, m.Decoder.Params()...)
+
+	if got := nn.CountParams(m.params); got != cfg.ParamCount() {
+		return nil, fmt.Errorf("gnn: built %d parameters, formula says %d", got, cfg.ParamCount())
+	}
+	return m, nil
+}
+
+// Params returns all trainable parameters in deterministic order.
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// NumParams returns the trainable parameter count.
+func (m *Model) NumParams() int { return nn.CountParams(m.params) }
+
+// Forward evaluates the GNN on this rank's sub-graph. x is the
+// NumLocal×InputNodeFeatures node attribute matrix; the result is the
+// NumLocal×OutputNodeFeatures prediction. All ranks must call Forward
+// collectively (the NMP layers synchronize halos).
+func (m *Model) Forward(rc *RankContext, x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows != rc.Graph.NumLocal() || x.Cols != m.Config.InputNodeFeatures {
+		panic(fmt.Sprintf("gnn: input %dx%d, want %dx%d",
+			x.Rows, x.Cols, rc.Graph.NumLocal(), m.Config.InputNodeFeatures))
+	}
+	hx := m.NodeEncoder.Forward(x)
+	he := m.EdgeEncoder.Forward(rc.EdgeInputs(m.Config.EdgeMode, x))
+	m.lastNe = rc.Graph.NumEdges()
+	for _, l := range m.Layers {
+		hx, he = l.Forward(rc, hx, he)
+	}
+	return m.Decoder.Forward(hx)
+}
+
+// Backward propagates the output gradient dy through the model,
+// accumulating parameter gradients. Gradients with respect to the raw
+// inputs are not returned: inputs are data, and the edge-feature
+// dependence on x (EdgeFeatures7 mode) is likewise treated as constant.
+// All ranks must call Backward collectively.
+func (m *Model) Backward(dy *tensor.Matrix) {
+	dhx := m.Decoder.Backward(dy)
+	// The last layer's edge gradient starts at zero (edge features are
+	// discarded after message passing, per the paper's decoder).
+	dhe := tensor.New(m.lastNe, m.Config.HiddenDim)
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dhx, dhe = m.Layers[i].Backward(dhx, dhe)
+	}
+	m.EdgeEncoder.Backward(dhe)
+	m.NodeEncoder.Backward(dhx)
+}
+
+// ZeroGrads clears all parameter gradients.
+func (m *Model) ZeroGrads() { nn.ZeroGrads(m.params) }

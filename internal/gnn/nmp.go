@@ -1,0 +1,167 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"meshgnn/internal/nn"
+	"meshgnn/internal/tensor"
+)
+
+// NMPLayer is one consistent neural message passing layer (paper Eq. 4):
+//
+//	edge update      e_ij ← e_ij + MLP(x_i, x_j, e_ij)            (4a)
+//	local edge aggr  a_i   = Σ_{j∈N(i)} e_ij / d_ij               (4b)
+//	halo swap        a_halo ← neighbor ranks' local aggregates    (4c)
+//	synchronization  a*_i  = a_i + Σ halo copies of node i        (4d)
+//	node update      x_i  ← x_i + MLP(a*_i, x_i)                  (4e)
+//
+// Steps (4c)–(4d) run only when the rank context's exchanger performs a
+// halo exchange; with comm.NoExchange the layer degrades to the standard
+// (inconsistent) NMP formulation the paper uses as its baseline.
+// Residual connections wrap both MLPs, matching the encode-process-decode
+// processors of the MeshGraphNets lineage the paper builds on.
+type NMPLayer struct {
+	EdgeMLP *nn.MLP // (x_dst ‖ x_src ‖ e) → H
+	NodeMLP *nn.MLP // (a* ‖ x) → H
+
+	// DisableDegreeScaling drops the 1/d_ij factor in (4b), an ablation
+	// that double-counts shared-face edges and breaks consistency; used
+	// to demonstrate why the scaling is load-bearing.
+	DisableDegreeScaling bool
+
+	// caches for backward
+	rc       *RankContext
+	edgeIn   *tensor.Matrix
+	nodeIn   *tensor.Matrix
+	haloRows int
+}
+
+// NewNMPLayer builds the layer's MLPs.
+func NewNMPLayer(name string, hidden, mlpHidden int, rng *rand.Rand) *NMPLayer {
+	return &NMPLayer{
+		EdgeMLP: nn.NewMLP(name+".edge", 3*hidden, hidden, hidden, mlpHidden, true, rng),
+		NodeMLP: nn.NewMLP(name+".node", 2*hidden, hidden, hidden, mlpHidden, true, rng),
+	}
+}
+
+// Forward applies the layer in place semantics-wise but returns fresh
+// matrices: x (Nlocal×H) and e (Ne×H) are the hidden node and edge
+// features; the returned pair are the updated features.
+func (l *NMPLayer) Forward(rc *RankContext, x, e *tensor.Matrix) (xOut, eOut *tensor.Matrix) {
+	l.rc = rc
+	g := rc.Graph
+	h := x.Cols
+
+	// (4a) edge update with residual.
+	l.edgeIn = tensor.New(g.NumEdges(), 3*h)
+	for k, ed := range g.Edges {
+		row := l.edgeIn.Row(k)
+		copy(row[:h], x.Row(ed[1]))    // x_i (receiver)
+		copy(row[h:2*h], x.Row(ed[0])) // x_j (sender)
+		copy(row[2*h:], e.Row(k))      // e_ij
+	}
+	eOut = l.EdgeMLP.Forward(l.edgeIn)
+	tensor.AddScaled(eOut, 1, e) // residual
+
+	// (4b) degree-scaled local aggregation at the receiver.
+	agg := tensor.New(g.NumLocal(), h)
+	for k, ed := range g.Edges {
+		dst := agg.Row(ed[1])
+		src := eOut.Row(k)
+		inv := 1.0
+		if !l.DisableDegreeScaling {
+			inv = 1 / g.EdgeDegree[k]
+		}
+		for j, v := range src {
+			dst[j] += inv * v
+		}
+	}
+
+	// (4c) halo swap of the local aggregates.
+	l.haloRows = g.NumHalo()
+	halo := tensor.New(l.haloRows, h)
+	l.rc.Ex.Forward(rc.Comm, agg, halo)
+
+	// (4d) synchronization: owners absorb their halo copies.
+	for hr, owner := range g.HaloOwner {
+		dst := agg.Row(owner)
+		for j, v := range halo.Row(hr) {
+			dst[j] += v
+		}
+	}
+
+	// (4e) node update with residual.
+	l.nodeIn = tensor.HCat(agg, x)
+	xOut = l.NodeMLP.Forward(l.nodeIn)
+	tensor.AddScaled(xOut, 1, x)
+	return xOut, eOut
+}
+
+// Backward propagates gradients dxOut, deOut through the layer, returning
+// gradients with respect to the input x and e. Parameter gradients
+// accumulate into the MLPs. The halo exchange is differentiated by its
+// adjoint: halo-row gradients travel back to the ranks whose aggregates
+// populated them (the torch.distributed.nn behaviour the paper depends
+// on for Eq. 3).
+func (l *NMPLayer) Backward(dxOut, deOut *tensor.Matrix) (dx, de *tensor.Matrix) {
+	rc := l.rc
+	g := rc.Graph
+	h := dxOut.Cols
+
+	// (4e) node update backward; residual passes dxOut straight through.
+	dNodeIn := l.NodeMLP.Backward(dxOut)
+	parts := tensor.SplitCols(dNodeIn, h, h)
+	dAggStar, dxFromNode := parts[0], parts[1]
+	dx = dxOut.Clone()
+	tensor.AddScaled(dx, 1, dxFromNode)
+
+	// (4d) synchronization backward: each halo row's gradient is its
+	// owner's aggregate gradient; the local aggregate keeps dAggStar.
+	dHalo := tensor.New(l.haloRows, h)
+	for hr, owner := range g.HaloOwner {
+		copy(dHalo.Row(hr), dAggStar.Row(owner))
+	}
+	dAgg := dAggStar // identity path
+
+	// (4c) halo swap adjoint: halo gradients scatter-add into the
+	// neighbors' local aggregate gradients.
+	rc.Ex.Adjoint(rc.Comm, dHalo, dAgg)
+
+	// (4b) aggregation backward: de_k = dAgg[dst_k] / d_k.
+	dEOut := tensor.New(g.NumEdges(), h)
+	for k, ed := range g.Edges {
+		src := dAgg.Row(ed[1])
+		dst := dEOut.Row(k)
+		inv := 1.0
+		if !l.DisableDegreeScaling {
+			inv = 1 / g.EdgeDegree[k]
+		}
+		for j, v := range src {
+			dst[j] = inv * v
+		}
+	}
+	// deOut also flows directly into eOut (it is returned upward).
+	tensor.AddScaled(dEOut, 1, deOut)
+
+	// (4a) edge update backward; residual passes dEOut to de.
+	dEdgeIn := l.EdgeMLP.Backward(dEOut)
+	eparts := tensor.SplitCols(dEdgeIn, h, h, h)
+	de = dEOut.Clone()
+	tensor.AddScaled(de, 1, eparts[2])
+	for k, ed := range g.Edges {
+		dst1 := dx.Row(ed[1])
+		for j, v := range eparts[0].Row(k) {
+			dst1[j] += v
+		}
+		dst0 := dx.Row(ed[0])
+		for j, v := range eparts[1].Row(k) {
+			dst0[j] += v
+		}
+	}
+	return dx, de
+}
+
+// Params returns the layer's trainable parameters.
+func (l *NMPLayer) Params() []*nn.Param {
+	return append(l.EdgeMLP.Params(), l.NodeMLP.Params()...)
+}

@@ -1,0 +1,61 @@
+package gnn
+
+import (
+	"math"
+
+	"meshgnn/internal/graph"
+	"meshgnn/internal/tensor"
+)
+
+// NoiseField returns an NumLocal×cols matrix of Gaussian noise with
+// standard deviation sigma, keyed by (seed, global node ID, column).
+//
+// Training-noise injection is the standard stabilization for one-step
+// mesh surrogates (MeshGraphNets lineage), but in the distributed setting
+// naive per-rank randomness would violate consistency: coincident copies
+// of a node on different ranks would receive different noise, so the
+// partitioned gradient would no longer equal the unpartitioned one. This
+// generator derives every draw from a counter-based hash of the *global*
+// node ID, making the noise — and therefore the entire noisy training
+// trajectory — partition-invariant.
+func NoiseField(g *graph.Local, cols int, sigma float64, seed uint64) *tensor.Matrix {
+	out := tensor.New(g.NumLocal(), cols)
+	if sigma == 0 {
+		return out
+	}
+	for i := 0; i < g.NumLocal(); i++ {
+		gid := uint64(g.GlobalIDs[i])
+		row := out.Row(i)
+		for c := 0; c < cols; c++ {
+			row[c] = sigma * gaussianHash(seed, gid, uint64(c))
+		}
+	}
+	return out
+}
+
+// gaussianHash produces a standard normal deviate from a counter-based
+// hash (splitmix64 over the key tuple) via the Box–Muller transform.
+func gaussianHash(seed, gid, col uint64) float64 {
+	u1 := hashUnit(seed, gid, 2*col)
+	u2 := hashUnit(seed, gid, 2*col+1)
+	// Guard the log against u1 == 0.
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// hashUnit maps the key tuple to (0,1] uniformly.
+func hashUnit(seed, gid, ctr uint64) float64 {
+	x := splitmix(splitmix(splitmix(seed)^gid) ^ ctr)
+	// 53-bit mantissa to uniform (0,1].
+	return (float64(x>>11) + 1) / (1 << 53)
+}
+
+// splitmix is the SplitMix64 finalizer, a well-distributed 64-bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

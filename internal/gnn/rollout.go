@@ -1,0 +1,59 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"meshgnn/internal/tensor"
+)
+
+// Rollout applies the model autoregressively: state_{n+1} = G(state_n),
+// the deployment mode of one-step surrogates. It returns the trajectory
+// including the initial state (steps+1 matrices). The model's input and
+// output widths must match. All ranks must call collectively.
+func Rollout(model *Model, rc *RankContext, x0 *tensor.Matrix, steps int) []*tensor.Matrix {
+	if model.Config.InputNodeFeatures != model.Config.OutputNodeFeatures {
+		panic(fmt.Sprintf("gnn: rollout needs matching widths, have %d -> %d",
+			model.Config.InputNodeFeatures, model.Config.OutputNodeFeatures))
+	}
+	out := make([]*tensor.Matrix, 0, steps+1)
+	state := x0.Clone()
+	out = append(out, state)
+	for s := 0; s < steps; s++ {
+		state = model.Forward(rc, state)
+		out = append(out, state)
+	}
+	return out
+}
+
+// RolloutError returns the consistent relative L2 error of each rollout
+// state against the reference trajectory: ||y - ŷ|| / ||ŷ|| under the
+// degree-weighted node metric, AllReduced so every rank sees the global
+// values. ref must have the same length as traj.
+func RolloutError(rc *RankContext, traj, ref []*tensor.Matrix) []float64 {
+	if len(traj) != len(ref) {
+		panic(fmt.Sprintf("gnn: rollout error lengths %d vs %d", len(traj), len(ref)))
+	}
+	out := make([]float64, len(traj))
+	for s := range traj {
+		var num, den float64
+		y, want := traj[s], ref[s]
+		for i := 0; i < y.Rows; i++ {
+			inv := 1 / rc.Graph.NodeDegree[i]
+			yr, wr := y.Row(i), want.Row(i)
+			for j := range yr {
+				d := yr[j] - wr[j]
+				num += inv * d * d
+				den += inv * wr[j] * wr[j]
+			}
+		}
+		buf := []float64{num, den}
+		rc.Comm.AllReduceSum(buf)
+		if buf[1] == 0 {
+			out[s] = 0
+			continue
+		}
+		out[s] = math.Sqrt(buf[0] / buf[1])
+	}
+	return out
+}

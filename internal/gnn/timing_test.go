@@ -1,0 +1,77 @@
+package gnn
+
+import (
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/nn"
+	"meshgnn/internal/partition"
+)
+
+func TestStepTimingAccumulates(t *testing.T) {
+	box, l := singleRankSetup(t, tinyConfig())
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		model, _ := NewModel(tinyConfig())
+		tr := NewTrainer(model, nn.NewSGD(0.01))
+		timing := tr.EnableTiming()
+		x := waveField(rc.Graph)
+		tr.Step(rc, x, x)
+		tr.Step(rc, x, x)
+		if timing.Steps != 2 {
+			t.Errorf("Steps = %d", timing.Steps)
+		}
+		if timing.Forward <= 0 || timing.Backward <= 0 || timing.Total() <= 0 {
+			t.Errorf("non-positive phases: %+v", timing)
+		}
+		if timing.Forward+timing.Backward < timing.Optimizer {
+			t.Errorf("suspicious breakdown: %+v", timing)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaloSecondsCounted(t *testing.T) {
+	box, err := mesh.NewBox(4, 2, 2, 1, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.NewCartesian(box, 2, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := graph.BuildAll(box, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []comm.ExchangeMode{comm.NoExchange, comm.SendRecvMode} {
+		results, err := comm.RunCollect(2, func(c *comm.Comm) (float64, error) {
+			rc, err := NewRankContext(c, box, locals[c.Rank()], mode)
+			if err != nil {
+				return 0, err
+			}
+			model, _ := NewModel(tinyConfig())
+			tr := NewTrainer(model, nn.NewSGD(0.01))
+			x := waveField(rc.Graph)
+			tr.Step(rc, x, x)
+			return c.Stats.HaloSeconds, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == comm.NoExchange && results[0] != 0 {
+			t.Errorf("no-exchange run accumulated halo time %v", results[0])
+		}
+		if mode == comm.SendRecvMode && results[0] <= 0 {
+			t.Errorf("exchange run has zero halo time")
+		}
+	}
+}

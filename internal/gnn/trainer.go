@@ -1,0 +1,113 @@
+package gnn
+
+import (
+	"time"
+
+	"meshgnn/internal/nn"
+	"meshgnn/internal/tensor"
+)
+
+// Trainer runs distributed-data-parallel training of a consistent GNN:
+// every rank holds identical parameters, computes the consistent loss and
+// its local gradient contribution, and gradients are summed across ranks
+// with a deterministic AllReduce before the (identical) optimizer step.
+// Because both loss and gradients satisfy the consistency equations, the
+// optimization trajectory is invariant to the partitioning (paper Fig. 6,
+// right).
+type Trainer struct {
+	Model *Model
+	Opt   nn.Optimizer
+	Loss  ConsistentMSE
+
+	// ClipNorm, when positive, clips the global gradient norm after the
+	// AllReduce (every rank computes the identical factor, so clipping
+	// preserves consistency).
+	ClipNorm float64
+	// Schedule, when non-nil, drives the optimizer's learning rate per
+	// step (the optimizer must implement nn.LRSettable).
+	Schedule nn.Schedule
+
+	// Timing, when non-nil, accumulates a per-phase wall-time breakdown
+	// across Step calls (enable with EnableTiming).
+	Timing *StepTiming
+
+	step    int
+	gradBuf []float64
+}
+
+// StepTiming is the accumulated per-phase breakdown of training steps:
+// where an iteration's time goes, the decomposition behind the paper's
+// communication-cost analysis.
+type StepTiming struct {
+	Forward, Loss, Backward, AllReduce, Optimizer time.Duration
+	Steps                                         int
+}
+
+// EnableTiming switches on per-phase timing and returns the accumulator.
+func (t *Trainer) EnableTiming() *StepTiming {
+	t.Timing = &StepTiming{}
+	return t.Timing
+}
+
+// Total returns the summed time across phases.
+func (st *StepTiming) Total() time.Duration {
+	return st.Forward + st.Loss + st.Backward + st.AllReduce + st.Optimizer
+}
+
+// NewTrainer pairs a model with an optimizer.
+func NewTrainer(m *Model, opt nn.Optimizer) *Trainer {
+	return &Trainer{Model: m, Opt: opt}
+}
+
+// Step executes one training iteration (forward, loss, backward, gradient
+// AllReduce, optimizer update) and returns the consistent loss value.
+// All ranks must call Step collectively with their own x and target.
+func (t *Trainer) Step(rc *RankContext, x, target *tensor.Matrix) float64 {
+	mark := time.Now()
+	lap := func(dst *time.Duration) {
+		if t.Timing != nil {
+			now := time.Now()
+			*dst += now.Sub(mark)
+			mark = now
+		}
+	}
+	t.Model.ZeroGrads()
+	y := t.Model.Forward(rc, x)
+	if t.Timing != nil {
+		lap(&t.Timing.Forward)
+	}
+	loss := t.Loss.Forward(rc, y, target)
+	if t.Timing != nil {
+		lap(&t.Timing.Loss)
+	}
+	t.Model.Backward(t.Loss.Backward())
+	if t.Timing != nil {
+		lap(&t.Timing.Backward)
+	}
+	t.gradBuf = nn.AllReduceGradients(rc.Comm, t.Model.Params(), t.gradBuf)
+	if t.Timing != nil {
+		lap(&t.Timing.AllReduce)
+	}
+	if t.ClipNorm > 0 {
+		nn.ClipGradNorm(t.Model.Params(), t.ClipNorm)
+	}
+	if t.Schedule != nil {
+		if s, ok := t.Opt.(nn.LRSettable); ok {
+			s.SetLR(t.Schedule.LR(t.step))
+		}
+	}
+	t.Opt.Step(t.Model.Params())
+	if t.Timing != nil {
+		lap(&t.Timing.Optimizer)
+		t.Timing.Steps++
+	}
+	t.step++
+	return loss
+}
+
+// Evaluate computes the consistent loss without touching gradients or
+// parameters.
+func (t *Trainer) Evaluate(rc *RankContext, x, target *tensor.Matrix) float64 {
+	y := t.Model.Forward(rc, x)
+	return t.Loss.Forward(rc, y, target)
+}

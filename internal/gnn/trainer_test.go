@@ -1,0 +1,162 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/nn"
+	"meshgnn/internal/partition"
+)
+
+// trainWithOptions runs a short training loop with clipping and a cosine
+// schedule and returns the loss curve from rank 0.
+func trainWithOptions(t *testing.T, box *mesh.Box, r int, clip float64, sched nn.Schedule) []float64 {
+	t.Helper()
+	strat := partition.Blocks
+	if r == 1 {
+		strat = partition.Slabs
+	}
+	part, err := partition.NewCartesian(box, r, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := graph.BuildAll(box, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := comm.RunCollect(r, func(c *comm.Comm) ([]float64, error) {
+		rc, err := NewRankContext(c, box, locals[c.Rank()], comm.SendRecvMode)
+		if err != nil {
+			return nil, err
+		}
+		model, err := NewModel(tinyConfig())
+		if err != nil {
+			return nil, err
+		}
+		tr := NewTrainer(model, nn.NewSGD(0.05))
+		tr.ClipNorm = clip
+		tr.Schedule = sched
+		x := waveField(rc.Graph)
+		curve := make([]float64, 10)
+		for i := range curve {
+			curve[i] = tr.Step(rc, x, x)
+		}
+		return curve, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results[0]
+}
+
+// Clipping and scheduling operate on AllReduced gradients, so the
+// trajectory must stay partition-invariant.
+func TestClippedScheduledTrainingConsistency(t *testing.T) {
+	box, err := mesh.NewBox(4, 2, 2, 1, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := nn.CosineSchedule{Base: 0.05, Floor: 0.005, Steps: 10, Warmup: 2}
+	ref := trainWithOptions(t, box, 1, 0.5, sched)
+	got := trainWithOptions(t, box, 4, 0.5, sched)
+	for i := range ref {
+		if rel := math.Abs(got[i]-ref[i]) / (1 + ref[i]); rel > 1e-9 {
+			t.Fatalf("iter %d: clipped/scheduled trajectory deviates rel %g", i, rel)
+		}
+	}
+	if ref[9] >= ref[0] {
+		t.Fatalf("training regressed: %v -> %v", ref[0], ref[9])
+	}
+}
+
+// Clipping must actually bound the update magnitude: with an absurdly
+// tight clip the first step barely moves the parameters.
+func TestClipNormBoundsUpdates(t *testing.T) {
+	box, err := mesh.NewBox(2, 2, 1, 1, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := graph.BuildSingle(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		model, err := NewModel(tinyConfig())
+		if err != nil {
+			return err
+		}
+		before := nn.FlattenGrads(model.Params(), nil) // reuse as weights snapshot
+		off := 0
+		for _, p := range model.Params() {
+			copy(before[off:off+p.Count()], p.W.Data)
+			off += p.Count()
+		}
+		tr := NewTrainer(model, nn.NewSGD(1.0))
+		tr.ClipNorm = 1e-6
+		x := waveField(rc.Graph)
+		tr.Step(rc, x, x)
+		var moved float64
+		off = 0
+		for _, p := range model.Params() {
+			for i, v := range p.W.Data {
+				d := v - before[off+i]
+				moved += d * d
+			}
+			off += p.Count()
+		}
+		// ||Δw|| = lr * clipped norm <= 1e-6.
+		if math.Sqrt(moved) > 1e-5 {
+			t.Errorf("clip did not bound the update: ||Δw|| = %g", math.Sqrt(moved))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The schedule must actually drive the optimizer's rate.
+func TestScheduleDrivesOptimizer(t *testing.T) {
+	box, err := mesh.NewBox(2, 2, 1, 1, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := graph.BuildSingle(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		model, err := NewModel(tinyConfig())
+		if err != nil {
+			return err
+		}
+		opt := nn.NewSGD(999) // must be overwritten by the schedule
+		tr := NewTrainer(model, opt)
+		tr.Schedule = nn.StepDecay{Base: 0.01, Gamma: 0.1, Every: 2}
+		x := waveField(rc.Graph)
+		tr.Step(rc, x, x)
+		if opt.LR != 0.01 {
+			t.Errorf("step 0: LR %v, want 0.01", opt.LR)
+		}
+		tr.Step(rc, x, x)
+		tr.Step(rc, x, x)
+		if math.Abs(opt.LR-0.001) > 1e-12 {
+			t.Errorf("step 2: LR %v, want 0.001", opt.LR)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/partition"
+)
+
+func box(t *testing.T, ex, ey, ez, p int, per [3]bool) *mesh.Box {
+	t.Helper()
+	b, err := mesh.NewBox(ex, ey, ez, p, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func buildAll(t *testing.T, b *mesh.Box, r int, strat partition.Strategy) []*Local {
+	t.Helper()
+	part, err := partition.NewCartesian(b, r, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := BuildAll(b, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return locals
+}
+
+func TestSingleGraphCounts(t *testing.T) {
+	// One p=1 element: 8 nodes, 24 directed edges (paper Fig. 2).
+	b := box(t, 1, 1, 1, 1, [3]bool{})
+	l, err := BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLocal() != 8 || l.NumEdges() != 24 || l.NumHalo() != 0 {
+		t.Fatalf("got %d nodes %d edges %d halo", l.NumLocal(), l.NumEdges(), l.NumHalo())
+	}
+	for _, d := range l.EdgeDegree {
+		if d != 1 {
+			t.Fatalf("R=1 edge degree %v", d)
+		}
+	}
+	for _, d := range l.NodeDegree {
+		if d != 1 {
+			t.Fatalf("R=1 node degree %v", d)
+		}
+	}
+}
+
+// Edge dedup: two adjacent elements share a face whose edges appear in
+// both elements but must be stored once. 2x1x1 p=1: 12 unique nodes,
+// undirected edges = 20 (12 per cube * 2 - 4 shared) -> 40 directed.
+func TestLocalEdgeDedup(t *testing.T) {
+	b := box(t, 2, 1, 1, 1, [3]bool{})
+	l, err := BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLocal() != 12 {
+		t.Fatalf("nodes = %d, want 12", l.NumLocal())
+	}
+	if l.NumEdges() != 40 {
+		t.Fatalf("edges = %d, want 40", l.NumEdges())
+	}
+}
+
+func TestGlobalIDsSortedUnique(t *testing.T) {
+	b := box(t, 3, 2, 2, 2, [3]bool{true, false, false})
+	for _, l := range buildAll(t, b, 3, partition.Slabs) {
+		for i := 1; i < len(l.GlobalIDs); i++ {
+			if l.GlobalIDs[i] <= l.GlobalIDs[i-1] {
+				t.Fatalf("rank %d: IDs not sorted/unique at %d", l.Rank, i)
+			}
+		}
+	}
+}
+
+func TestEdgesSortedDeduped(t *testing.T) {
+	b := box(t, 2, 2, 2, 2, [3]bool{})
+	for _, l := range buildAll(t, b, 2, partition.Slabs) {
+		seen := make(map[[2]int]bool)
+		for k, e := range l.Edges {
+			if e[0] == e[1] {
+				t.Fatalf("self loop %v", e)
+			}
+			if seen[e] {
+				t.Fatalf("duplicate edge %v", e)
+			}
+			seen[e] = true
+			if k > 0 {
+				prev := l.Edges[k-1]
+				if prev[1] > e[1] || (prev[1] == e[1] && prev[0] >= e[0]) {
+					t.Fatalf("edges not sorted at %d: %v then %v", k, prev, e)
+				}
+			}
+		}
+		// Every edge has its reverse.
+		for e := range seen {
+			if !seen[[2]int{e[1], e[0]}] {
+				t.Fatalf("missing reverse of %v", e)
+			}
+		}
+	}
+}
+
+// The union of local node sets must cover the global graph, and shared
+// node counts must match the analytic partition statistics.
+func TestStatsMatchAnalytic(t *testing.T) {
+	b := box(t, 4, 4, 4, 2, [3]bool{true, true, true})
+	part, err := partition.NewCartesian(b, 8, partition.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := BuildAll(b, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := part.CartesianStats()
+	for r, l := range locals {
+		if got := l.Stats(); got != analytic[r] {
+			t.Fatalf("rank %d: graph stats %+v != analytic %+v", r, got, analytic[r])
+		}
+	}
+}
+
+// Halo plans must be symmetric: the global IDs rank r sends to s equal the
+// ones s expects from r, in identical order.
+func TestHaloPlanSymmetry(t *testing.T) {
+	b := box(t, 4, 4, 2, 1, [3]bool{true, false, false})
+	locals := buildAll(t, b, 8, partition.Blocks)
+	for _, l := range locals {
+		for k, nb := range l.Plan.Neighbors {
+			other := locals[nb]
+			// Find this rank in the neighbor's plan.
+			ko := -1
+			for i, onb := range other.Plan.Neighbors {
+				if onb == l.Rank {
+					ko = i
+				}
+			}
+			if ko < 0 {
+				t.Fatalf("rank %d lists neighbor %d but not vice versa", l.Rank, nb)
+			}
+			send := l.Plan.SendIdx[k]
+			recvOwners := other.Plan.RecvIdx[ko]
+			if len(send) != len(recvOwners) {
+				t.Fatalf("pair (%d,%d): send %d recv %d", l.Rank, nb, len(send), len(recvOwners))
+			}
+			for i := range send {
+				gidSent := l.GlobalIDs[send[i]]
+				haloRow := other.Plan.RecvIdx[ko][i]
+				gidExpected := other.GlobalIDs[other.HaloOwner[haloRow]]
+				if gidSent != gidExpected {
+					t.Fatalf("pair (%d,%d) slot %d: sent gid %d, expected %d",
+						l.Rank, nb, i, gidSent, gidExpected)
+				}
+			}
+		}
+	}
+}
+
+// Σ_r Σ_{local i} 1/d_i must equal the unpartitioned node count (the
+// paper's Eq. 6c, N_eff).
+func TestNodeDegreeEffectiveCount(t *testing.T) {
+	configs := []struct {
+		r     int
+		strat partition.Strategy
+		per   [3]bool
+	}{
+		{2, partition.Slabs, [3]bool{}},
+		{4, partition.Blocks, [3]bool{true, true, true}},
+		{8, partition.Blocks, [3]bool{false, true, false}},
+	}
+	for _, cfg := range configs {
+		b := box(t, 4, 4, 4, 2, cfg.per)
+		locals := buildAll(t, b, cfg.r, cfg.strat)
+		var neff float64
+		for _, l := range locals {
+			for _, d := range l.NodeDegree {
+				neff += 1 / d
+			}
+		}
+		if math.Abs(neff-float64(b.NumNodes())) > 1e-6 {
+			t.Fatalf("cfg %+v: Neff = %v, want %d", cfg, neff, b.NumNodes())
+		}
+	}
+}
+
+// Σ_r Σ_{local edges} 1/d_ij must equal the unpartitioned edge count:
+// the degree scaling in Eq. 4b exactly undoes cross-rank duplication.
+func TestEdgeDegreeReconstructsFullGraph(t *testing.T) {
+	b := box(t, 4, 4, 4, 1, [3]bool{true, true, true})
+	full, err := BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals := buildAll(t, b, 8, partition.Blocks)
+	var eff float64
+	for _, l := range locals {
+		for _, d := range l.EdgeDegree {
+			eff += 1 / d
+		}
+	}
+	if math.Abs(eff-float64(full.NumEdges())) > 1e-6 {
+		t.Fatalf("effective edges %v, want %d", eff, full.NumEdges())
+	}
+}
+
+// Stronger: the multiset of (global edge, weight=1/d) across ranks must
+// reconstruct exactly the full-graph edge set with weight 1.
+func TestEdgeMultisetReconstruction(t *testing.T) {
+	b := box(t, 3, 3, 2, 2, [3]bool{false, true, false})
+	full, err := BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSet := make(map[[2]int64]bool, full.NumEdges())
+	for _, e := range full.Edges {
+		fullSet[[2]int64{full.GlobalIDs[e[0]], full.GlobalIDs[e[1]]}] = true
+	}
+	locals := buildAll(t, b, 6, partition.Blocks)
+	weights := make(map[[2]int64]float64)
+	for _, l := range locals {
+		for k, e := range l.Edges {
+			key := [2]int64{l.GlobalIDs[e[0]], l.GlobalIDs[e[1]]}
+			if !fullSet[key] {
+				t.Fatalf("rank %d has edge %v absent from full graph", l.Rank, key)
+			}
+			weights[key] += 1 / l.EdgeDegree[k]
+		}
+	}
+	if len(weights) != len(fullSet) {
+		t.Fatalf("partitioned graphs cover %d edges, full graph has %d", len(weights), len(fullSet))
+	}
+	for key, w := range weights {
+		if math.Abs(w-1) > 1e-9 {
+			t.Fatalf("edge %v total weight %v, want 1", key, w)
+		}
+	}
+}
+
+// Edge degrees on a shared face must be 2 (paper Sec. II-B), and higher on
+// shared lines.
+func TestEdgeDegreeValues(t *testing.T) {
+	b := box(t, 2, 2, 1, 1, [3]bool{})
+	locals := buildAll(t, b, 4, partition.Blocks) // 2x2x1 ranks, one element each
+	deg := make(map[float64]int)
+	for _, l := range locals {
+		for _, d := range l.EdgeDegree {
+			deg[d]++
+		}
+	}
+	if deg[2.0] == 0 {
+		t.Fatal("expected degree-2 edges on shared faces")
+	}
+	// The central vertical line is shared by all 4 ranks.
+	if deg[4.0] == 0 {
+		t.Fatal("expected degree-4 edges on the shared line")
+	}
+}
+
+func TestStaticEdgeFeatures(t *testing.T) {
+	b := box(t, 2, 1, 1, 1, [3]bool{})
+	b.Lx = 2
+	l, err := BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := l.StaticEdgeFeatures(b)
+	if feats.Rows != l.NumEdges() || feats.Cols != 4 {
+		t.Fatalf("features %dx%d", feats.Rows, feats.Cols)
+	}
+	for k, e := range l.Edges {
+		dx := l.Coords.At(e[1], 0) - l.Coords.At(e[0], 0)
+		dy := l.Coords.At(e[1], 1) - l.Coords.At(e[0], 1)
+		dz := l.Coords.At(e[1], 2) - l.Coords.At(e[0], 2)
+		mag := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if math.Abs(feats.At(k, 0)-dx) > 1e-12 || math.Abs(feats.At(k, 3)-mag) > 1e-12 {
+			t.Fatalf("edge %d features %v", k, feats.Row(k))
+		}
+		if mag <= 0 {
+			t.Fatalf("degenerate edge length %v", mag)
+		}
+	}
+}
+
+// Periodic minimum-image: an edge crossing the wrap must have |d| ~ one
+// element's GLL gap, not the domain length.
+func TestStaticEdgeFeaturesPeriodicMinimumImage(t *testing.T) {
+	b := box(t, 4, 2, 2, 1, [3]bool{true, false, false})
+	l, err := BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := l.StaticEdgeFeatures(b)
+	maxLen := 0.0
+	for k := range l.Edges {
+		if v := feats.At(k, 3); v > maxLen {
+			maxLen = v
+		}
+	}
+	// Largest legitimate edge: one element extent along y/z (0.5);
+	// without minimum-image, x-wrap edges would be 0.75 long.
+	if maxLen > 0.6 {
+		t.Fatalf("minimum-image violated: max edge length %v", maxLen)
+	}
+}
+
+// Consistency of edge features across ranks: the same global edge must
+// carry identical static features everywhere.
+func TestEdgeFeaturesConsistentAcrossRanks(t *testing.T) {
+	b := box(t, 4, 4, 2, 1, [3]bool{true, true, false})
+	locals := buildAll(t, b, 4, partition.Blocks)
+	seen := make(map[[2]int64][4]float64)
+	for _, l := range locals {
+		feats := l.StaticEdgeFeatures(b)
+		for k, e := range l.Edges {
+			key := [2]int64{l.GlobalIDs[e[0]], l.GlobalIDs[e[1]]}
+			var row [4]float64
+			copy(row[:], feats.Row(k))
+			if prev, ok := seen[key]; ok && prev != row {
+				t.Fatalf("edge %v features differ across ranks: %v vs %v", key, prev, row)
+			}
+			seen[key] = row
+		}
+	}
+}
+
+// Property: for random configurations, effective node and edge counts
+// always reconstruct the full graph.
+func TestReconstructionProperty(t *testing.T) {
+	f := func(ex8, ey8, ez8, p8, r8 uint8, px, py, pz bool) bool {
+		ex, ey, ez := int(ex8%3)+2, int(ey8%3)+2, int(ez8%3)+2
+		p := int(p8%2) + 1
+		r := []int{2, 4, 8}[r8%3]
+		b, err := mesh.NewBox(ex, ey, ez, p, [3]bool{px, py, pz})
+		if err != nil {
+			return true
+		}
+		part, err := partition.NewCartesian(b, r, partition.Blocks)
+		if err != nil {
+			return true
+		}
+		locals, err := BuildAll(b, part)
+		if err != nil {
+			return false
+		}
+		full, err := BuildSingle(b)
+		if err != nil {
+			return false
+		}
+		var neff, eeff float64
+		for _, l := range locals {
+			for _, d := range l.NodeDegree {
+				neff += 1 / d
+			}
+			for _, d := range l.EdgeDegree {
+				eeff += 1 / d
+			}
+		}
+		return math.Abs(neff-float64(b.NumNodes())) < 1e-6 &&
+			math.Abs(eeff-float64(full.NumEdges())) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildAll8RanksP5(b *testing.B) {
+	box, _ := mesh.NewBox(8, 4, 4, 5, [3]bool{true, true, true})
+	part, _ := partition.NewCartesian(box, 8, partition.Slabs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildAll(box, part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

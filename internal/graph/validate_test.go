@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"meshgnn/internal/partition"
+)
+
+func TestValidatePassesOnBuiltGraphs(t *testing.T) {
+	configs := []struct {
+		per   [3]bool
+		r     int
+		strat partition.Strategy
+	}{
+		{[3]bool{}, 1, partition.Slabs},
+		{[3]bool{}, 4, partition.Blocks},
+		{[3]bool{true, true, true}, 8, partition.Blocks},
+		{[3]bool{true, false, false}, 2, partition.Slabs},
+	}
+	for _, cfg := range configs {
+		b := box(t, 4, 4, 2, 2, cfg.per)
+		part, err := partition.NewCartesian(b, cfg.r, cfg.strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locals, err := BuildAll(b, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateAll(locals); err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestValidatePassesOnRCB(t *testing.T) {
+	b := box(t, 5, 4, 3, 1, [3]bool{false, true, false})
+	part, err := partition.NewRCB(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := BuildAll(b, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateAll(locals); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corrupt builds a valid 2-rank decomposition, applies f to rank 0, and
+// expects validation to fail with a message containing want.
+func corrupt(t *testing.T, want string, f func(l *Local)) {
+	t.Helper()
+	b := box(t, 2, 2, 2, 1, [3]bool{})
+	part, err := partition.NewCartesian(b, 2, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := BuildAll(b, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(locals[0])
+	err = ValidateAll(locals)
+	if err == nil {
+		t.Fatalf("corruption %q not detected", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("corruption %q reported as %v", want, err)
+	}
+}
+
+func TestValidateDetectsUnsortedIDs(t *testing.T) {
+	corrupt(t, "increasing", func(l *Local) {
+		l.GlobalIDs[0], l.GlobalIDs[1] = l.GlobalIDs[1], l.GlobalIDs[0]
+	})
+}
+
+func TestValidateDetectsSelfLoop(t *testing.T) {
+	corrupt(t, "self-loop", func(l *Local) {
+		l.Edges[0][0] = l.Edges[0][1]
+	})
+}
+
+func TestValidateDetectsBadEdgeDegree(t *testing.T) {
+	corrupt(t, "degree", func(l *Local) {
+		l.EdgeDegree[3] = 0
+	})
+}
+
+func TestValidateDetectsBadNodeDegree(t *testing.T) {
+	corrupt(t, "owned by", func(l *Local) {
+		for i, d := range l.NodeDegree {
+			if d == 2 {
+				l.NodeDegree[i] = 3
+				return
+			}
+		}
+		t.Fatal("no shared node found")
+	})
+}
+
+func TestValidateDetectsAsymmetricPlan(t *testing.T) {
+	corrupt(t, "gid", func(l *Local) {
+		// Swap two send slots so the global-ID order no longer matches
+		// the neighbor's halo expectations.
+		s := l.Plan.SendIdx[0]
+		if len(s) < 2 {
+			t.Fatal("need at least 2 send slots")
+		}
+		s[0], s[1] = s[1], s[0]
+	})
+}
+
+func TestValidateDetectsMissingReverseEdge(t *testing.T) {
+	corrupt(t, "reverse", func(l *Local) {
+		l.Edges = l.Edges[:len(l.Edges)-1]
+		l.EdgeDegree = l.EdgeDegree[:len(l.EdgeDegree)-1]
+	})
+}
+
+func TestValidateDetectsEdgeWeightGap(t *testing.T) {
+	corrupt(t, "weight", func(l *Local) {
+		// Inflate one shared edge's degree so its total weight < 1.
+		for k, d := range l.EdgeDegree {
+			if d == 2 {
+				l.EdgeDegree[k] = 4
+				return
+			}
+		}
+		t.Fatal("no shared edge found")
+	})
+}

@@ -1,0 +1,114 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSetMappingRejectsPeriodic(t *testing.T) {
+	b := mustBox(t, 2, 2, 2, 1, [3]bool{true, false, false})
+	if err := b.SetMapping(Stretched(2)); err == nil {
+		t.Fatal("expected error on periodic mesh")
+	}
+	if b.Mapped() {
+		t.Fatal("mapping must not be installed after failure")
+	}
+}
+
+func TestAnnulusSectorGeometry(t *testing.T) {
+	b := mustBox(t, 4, 4, 2, 2, [3]bool{})
+	if err := b.SetMapping(AnnulusSector(1, 2, math.Pi/2)); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Mapped() {
+		t.Fatal("Mapped() false")
+	}
+	// Every node radius must lie in [1, 2].
+	for id := int64(0); id < b.NumNodes(); id++ {
+		x, y, _ := b.NodeCoord(id)
+		r := math.Hypot(x, y)
+		if r < 1-1e-12 || r > 2+1e-12 {
+			t.Fatalf("node %d radius %v outside [1,2]", id, r)
+		}
+		// Quarter annulus: both x and y non-negative.
+		if x < -1e-12 || y < -1e-12 {
+			t.Fatalf("node %d at (%v,%v) outside the sector", id, x, y)
+		}
+	}
+}
+
+func TestWavyChannelWall(t *testing.T) {
+	b := mustBox(t, 8, 4, 2, 1, [3]bool{})
+	if err := b.SetMapping(WavyChannel(0.1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Bottom-wall nodes (reference y=0) must trace the sine wall.
+	wavy := false
+	for id := int64(0); id < b.NumNodes(); id++ {
+		ix, iy, _ := b.NodeLattice(id)
+		if iy != 0 {
+			continue
+		}
+		x, y, _ := b.NodeCoord(id)
+		want := 0.1 * math.Sin(2*math.Pi*2*x)
+		if math.Abs(y-want) > 1e-12 {
+			t.Fatalf("wall node %d (ix=%d): y=%v want %v", id, ix, y, want)
+		}
+		if math.Abs(y) > 1e-9 {
+			wavy = true
+		}
+	}
+	if !wavy {
+		t.Fatal("wall is flat; mapping not applied")
+	}
+}
+
+func TestStretchedClustersAtWall(t *testing.T) {
+	b := mustBox(t, 1, 8, 1, 1, [3]bool{})
+	if err := b.SetMapping(Stretched(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Spacing must increase monotonically away from y=0.
+	var prev float64
+	var prevGap float64
+	for iy := 0; iy <= 8; iy++ {
+		_, y, _ := b.NodeCoord(int64(iy) * 2) // lattice stride along y is nx=2
+		if iy > 0 {
+			gap := y - prev
+			if gap <= 0 {
+				t.Fatalf("non-monotone mapped coordinates at iy=%d", iy)
+			}
+			if iy > 1 && gap < prevGap {
+				t.Fatalf("spacing must grow away from the wall: %v then %v", prevGap, gap)
+			}
+			prevGap = gap
+		}
+		prev = y
+	}
+	// Domain endpoints preserved.
+	_, y0, _ := b.NodeCoord(0)
+	_, y1, _ := b.NodeCoord(b.NumNodes() - 2)
+	if y0 != 0 || math.Abs(y1-1) > 0.2 {
+		t.Fatalf("endpoints y0=%v yTop=%v", y0, y1)
+	}
+}
+
+func TestMappingPreservesCoincidence(t *testing.T) {
+	// Mapped coordinates are functions of the global lattice point, so
+	// coincident nodes (same global ID) trivially share positions; check
+	// that distinct nodes get distinct positions (mapping injective on
+	// this domain).
+	b := mustBox(t, 3, 3, 2, 2, [3]bool{})
+	if err := b.SetMapping(AnnulusSector(1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[3]float64]int64)
+	for id := int64(0); id < b.NumNodes(); id++ {
+		x, y, z := b.NodeCoord(id)
+		key := [3]float64{x, y, z}
+		if other, dup := seen[key]; dup {
+			t.Fatalf("nodes %d and %d mapped to the same point", other, id)
+		}
+		seen[key] = id
+	}
+}

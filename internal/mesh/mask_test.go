@@ -1,0 +1,73 @@
+package mesh
+
+import "testing"
+
+func TestSetMaskValidation(t *testing.T) {
+	per := mustBox(t, 2, 2, 2, 1, [3]bool{true, false, false})
+	if err := per.SetMask(func(e, f, g int) bool { return true }); err == nil {
+		t.Fatal("expected error on periodic mesh")
+	}
+	b := mustBox(t, 2, 2, 2, 1, [3]bool{})
+	if err := b.SetMask(func(e, f, g int) bool { return false }); err == nil {
+		t.Fatal("expected error for empty mask")
+	}
+	// Two diagonal corners only: not face-connected.
+	if err := b.SetMask(func(e, f, g int) bool {
+		return (e == 0 && f == 0 && g == 0) || (e == 1 && f == 1 && g == 1)
+	}); err == nil {
+		t.Fatal("expected error for disconnected mask")
+	}
+	if b.Masked() {
+		t.Fatal("failed masks must not stick")
+	}
+}
+
+func TestMaskLShape(t *testing.T) {
+	b := mustBox(t, 2, 2, 1, 2, [3]bool{})
+	// Remove one quadrant: an L-shaped duct.
+	if err := b.SetMask(func(e, f, g int) bool { return !(e == 1 && f == 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Masked() || b.NumActiveElements() != 3 {
+		t.Fatalf("active elements %d, want 3", b.NumActiveElements())
+	}
+	// 3 elements at p=2: full box has 5x5x3=75 nodes; removing the
+	// corner element drops its exclusive nodes. Count directly.
+	n := b.NumActiveNodes()
+	if n >= b.NumNodes() || n <= 0 {
+		t.Fatalf("active nodes %d vs full %d", n, b.NumNodes())
+	}
+	// Exclusive nodes of the removed element: (p+1)^3 minus two shared
+	// faces plus their shared edge: 27 - 9 - 9 + 3 = 12.
+	if b.NumNodes()-n != 12 {
+		t.Fatalf("removed %d nodes, want 12", b.NumNodes()-n)
+	}
+}
+
+func TestUnmaskedActiveElements(t *testing.T) {
+	b := mustBox(t, 2, 3, 1, 1, [3]bool{})
+	all := b.ActiveElements()
+	if len(all) != 6 {
+		t.Fatalf("%d active elements", len(all))
+	}
+	if b.Masked() {
+		t.Fatal("unmasked box reports Masked")
+	}
+	if b.NumActiveNodes() != b.NumNodes() {
+		t.Fatal("active nodes must equal all nodes when unmasked")
+	}
+}
+
+func TestMaskObstacle(t *testing.T) {
+	// Flow-past-a-square: carve a 2x2 element hole from an 8x4 duct.
+	b := mustBox(t, 8, 4, 1, 1, [3]bool{})
+	err := b.SetMask(func(e, f, g int) bool {
+		return !(e >= 3 && e <= 4 && f >= 1 && f <= 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumActiveElements() != 32-4 {
+		t.Fatalf("active %d, want 28", b.NumActiveElements())
+	}
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+
+	"meshgnn/internal/tensor"
+)
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, returning the pre-clip norm. In distributed training it
+// must be applied *after* the gradient AllReduce: every rank then computes
+// the identical norm and scale factor, preserving consistency.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		sq += tensor.Dot(p.G, p.G)
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			tensor.Scale(p.G, scale)
+		}
+	}
+	return norm
+}
+
+// Schedule maps a 0-based step index to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// ConstantLR returns the same rate forever.
+type ConstantLR float64
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// CosineSchedule decays from Base to Floor over Steps with optional
+// linear warmup, the standard schedule for surrogate training runs.
+type CosineSchedule struct {
+	Base, Floor float64
+	Steps       int
+	Warmup      int
+}
+
+// LR implements Schedule.
+func (c CosineSchedule) LR(step int) float64 {
+	if c.Warmup > 0 && step < c.Warmup {
+		return c.Base * float64(step+1) / float64(c.Warmup)
+	}
+	if c.Steps <= c.Warmup {
+		return c.Floor
+	}
+	t := float64(step-c.Warmup) / float64(c.Steps-c.Warmup)
+	if t > 1 {
+		t = 1
+	}
+	return c.Floor + 0.5*(c.Base-c.Floor)*(1+math.Cos(math.Pi*t))
+}
+
+// StepDecay multiplies the base rate by Gamma every Every steps.
+type StepDecay struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LR implements Schedule.
+func (s StepDecay) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.Every))
+}
+
+// LRSettable is implemented by optimizers whose learning rate can be
+// driven by a Schedule.
+type LRSettable interface {
+	SetLR(lr float64)
+}
+
+// SetLR implements LRSettable.
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// SetLR implements LRSettable.
+func (a *Adam) SetLR(lr float64) { a.LR = lr }

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("p", 1, 2)
+	p.G.Data[0], p.G.Data[1] = 3, 4 // norm 5
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if norm != 5 {
+		t.Fatalf("pre-clip norm %v", norm)
+	}
+	if math.Abs(p.G.Data[0]-0.6) > 1e-12 || math.Abs(p.G.Data[1]-0.8) > 1e-12 {
+		t.Fatalf("clipped grads %v", p.G.Data)
+	}
+	// Below the threshold: untouched.
+	ClipGradNorm([]*Param{p}, 10)
+	if math.Abs(p.G.Data[0]-0.6) > 1e-12 {
+		t.Fatal("clip modified in-threshold gradients")
+	}
+	// maxNorm <= 0 reports but never clips.
+	p.G.Data[0] = 100
+	if n := ClipGradNorm([]*Param{p}, 0); n < 100 {
+		t.Fatalf("norm %v", n)
+	}
+	if p.G.Data[0] != 100 {
+		t.Fatal("maxNorm=0 must not clip")
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	if ConstantLR(0.5).LR(100) != 0.5 {
+		t.Fatal("ConstantLR wrong")
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := CosineSchedule{Base: 1, Floor: 0.1, Steps: 100, Warmup: 10}
+	// Linear warmup.
+	if lr := s.LR(0); math.Abs(lr-0.1) > 1e-12 {
+		t.Fatalf("warmup start %v", lr)
+	}
+	if lr := s.LR(9); math.Abs(lr-1) > 1e-12 {
+		t.Fatalf("warmup end %v", lr)
+	}
+	// Monotone decay to the floor.
+	prev := s.LR(10)
+	for step := 11; step <= 100; step++ {
+		lr := s.LR(step)
+		if lr > prev+1e-12 {
+			t.Fatalf("cosine not monotone at %d: %v > %v", step, lr, prev)
+		}
+		prev = lr
+	}
+	if math.Abs(s.LR(100)-0.1) > 1e-9 || math.Abs(s.LR(1000)-0.1) > 1e-9 {
+		t.Fatalf("floor not reached: %v", s.LR(100))
+	}
+}
+
+func TestCosineDegenerate(t *testing.T) {
+	s := CosineSchedule{Base: 1, Floor: 0.2, Steps: 5, Warmup: 5}
+	if s.LR(7) != 0.2 {
+		t.Fatalf("degenerate schedule %v", s.LR(7))
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Gamma: 0.5, Every: 10}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("first plateau wrong")
+	}
+	if s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("decay wrong: %v %v", s.LR(10), s.LR(25))
+	}
+	if (StepDecay{Base: 2, Gamma: 0.5}).LR(100) != 2 {
+		t.Fatal("Every=0 must hold the base rate")
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	var s LRSettable = NewSGD(0.1)
+	s.SetLR(0.05)
+	if s.(*SGD).LR != 0.05 {
+		t.Fatal("SGD SetLR failed")
+	}
+	var a LRSettable = NewAdam(0.1)
+	a.SetLR(0.01)
+	if a.(*Adam).LR != 0.01 {
+		t.Fatal("Adam SetLR failed")
+	}
+}

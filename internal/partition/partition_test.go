@@ -1,0 +1,293 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshgnn/internal/mesh"
+)
+
+func box(t *testing.T, ex, ey, ez, p int, per [3]bool) *mesh.Box {
+	t.Helper()
+	b, err := mesh.NewBox(ex, ey, ez, p, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkCover verifies every element is owned by exactly one rank.
+func checkCover(t *testing.T, b *mesh.Box, p Partition) {
+	t.Helper()
+	seen := make(map[int]int)
+	for r := 0; r < p.NumRanks(); r++ {
+		for _, e := range p.Elements(r) {
+			if prev, dup := seen[e]; dup {
+				t.Fatalf("element %d owned by ranks %d and %d", e, prev, r)
+			}
+			seen[e] = r
+		}
+	}
+	if len(seen) != b.NumElements() {
+		t.Fatalf("covered %d elements, want %d", len(seen), b.NumElements())
+	}
+}
+
+// checkBalance verifies per-rank element counts differ by at most slack.
+func checkBalance(t *testing.T, p Partition, slack int) {
+	t.Helper()
+	lo, hi := 1<<30, -1
+	for r := 0; r < p.NumRanks(); r++ {
+		n := len(p.Elements(r))
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi-lo > slack {
+		t.Fatalf("imbalance %d..%d exceeds slack %d", lo, hi, slack)
+	}
+}
+
+func TestCartesianSlabs(t *testing.T) {
+	b := box(t, 8, 4, 4, 1, [3]bool{})
+	c, err := NewCartesian(b, 4, Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rx != 4 || c.Ry != 1 || c.Rz != 1 {
+		t.Fatalf("slab grid %dx%dx%d", c.Rx, c.Ry, c.Rz)
+	}
+	checkCover(t, b, c)
+	checkBalance(t, c, 0)
+}
+
+func TestCartesianSlabsPickLongestAxis(t *testing.T) {
+	b := box(t, 2, 16, 4, 1, [3]bool{})
+	c, err := NewCartesian(b, 8, Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ry != 8 {
+		t.Fatalf("slabs should split y: grid %dx%dx%d", c.Rx, c.Ry, c.Rz)
+	}
+}
+
+func TestCartesianBlocksCubic(t *testing.T) {
+	b := box(t, 8, 8, 8, 1, [3]bool{})
+	c, err := NewCartesian(b, 64, Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rx != 4 || c.Ry != 4 || c.Rz != 4 {
+		t.Fatalf("blocks grid %dx%dx%d, want 4x4x4", c.Rx, c.Ry, c.Rz)
+	}
+	checkCover(t, b, c)
+	checkBalance(t, c, 0)
+}
+
+func TestCartesianAutoSwitches(t *testing.T) {
+	b := box(t, 16, 16, 16, 1, [3]bool{})
+	c8, err := NewCartesian(b, 8, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c8.Rx != 8 || c8.Ry != 1 {
+		t.Fatalf("auto R=8 should be slabs, got %dx%dx%d", c8.Rx, c8.Ry, c8.Rz)
+	}
+	c64, err := NewCartesian(b, 64, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c64.Rx != 4 || c64.Ry != 4 || c64.Rz != 4 {
+		t.Fatalf("auto R=64 should be blocks, got %dx%dx%d", c64.Rx, c64.Ry, c64.Rz)
+	}
+}
+
+func TestCartesianUnevenChunks(t *testing.T) {
+	b := box(t, 10, 3, 3, 1, [3]bool{})
+	c, err := NewCartesian(b, 4, Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, b, c)
+	checkBalance(t, c, 9) // 3x3 cross-section: one extra x-layer = 9 elements
+}
+
+func TestCartesianErrors(t *testing.T) {
+	b := box(t, 2, 2, 2, 1, [3]bool{})
+	if _, err := NewCartesian(b, 0, Slabs); err == nil {
+		t.Fatal("expected error for 0 ranks")
+	}
+	if _, err := NewCartesian(b, 16, Slabs); err == nil {
+		t.Fatal("expected error for more slabs than elements")
+	}
+}
+
+func TestPencilsFactorization(t *testing.T) {
+	b := box(t, 8, 8, 2, 1, [3]bool{})
+	c, err := NewCartesian(b, 16, Pencils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rz != 1 || c.Rx*c.Ry != 16 {
+		t.Fatalf("pencil grid %dx%dx%d", c.Rx, c.Ry, c.Rz)
+	}
+	checkCover(t, b, c)
+}
+
+func TestRCBCoverAndBalance(t *testing.T) {
+	b := box(t, 6, 5, 4, 1, [3]bool{})
+	for _, r := range []int{1, 2, 3, 5, 7, 8, 16} {
+		p, err := NewRCB(b, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumRanks() != r {
+			t.Fatalf("R=%d: got %d ranks", r, p.NumRanks())
+		}
+		checkCover(t, b, p)
+		checkBalance(t, p, 2)
+	}
+}
+
+func TestRCBDeterministic(t *testing.T) {
+	b := box(t, 4, 4, 4, 1, [3]bool{})
+	p1, _ := NewRCB(b, 8)
+	p2, _ := NewRCB(b, 8)
+	for r := 0; r < 8; r++ {
+		e1, e2 := p1.Elements(r), p2.Elements(r)
+		if len(e1) != len(e2) {
+			t.Fatalf("rank %d: nondeterministic sizes", r)
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("rank %d: nondeterministic element order", r)
+			}
+		}
+	}
+}
+
+func TestRCBErrors(t *testing.T) {
+	b := box(t, 2, 2, 2, 1, [3]bool{})
+	if _, err := NewRCB(b, 0); err == nil {
+		t.Fatal("expected error for 0 ranks")
+	}
+	if _, err := NewRCB(b, 9); err == nil {
+		t.Fatal("expected error for ranks > elements")
+	}
+}
+
+// The analytic Cartesian statistics must agree exactly with the generic
+// node-set computation on every configuration.
+func TestCartesianStatsMatchGeneric(t *testing.T) {
+	cases := []struct {
+		ex, ey, ez, p, r int
+		strat            Strategy
+		per              [3]bool
+	}{
+		{4, 4, 4, 2, 4, Slabs, [3]bool{}},
+		{4, 4, 4, 2, 4, Slabs, [3]bool{true, true, true}},
+		{4, 4, 4, 1, 8, Blocks, [3]bool{}},
+		{4, 4, 4, 1, 8, Blocks, [3]bool{true, true, true}},
+		{6, 4, 2, 3, 6, Pencils, [3]bool{false, true, false}},
+		{8, 8, 8, 1, 16, Blocks, [3]bool{true, true, true}},
+		{5, 4, 3, 2, 5, Slabs, [3]bool{}},
+		{4, 4, 2, 2, 8, Blocks, [3]bool{true, true, false}},
+	}
+	for _, c := range cases {
+		b := box(t, c.ex, c.ey, c.ez, c.p, c.per)
+		part, err := NewCartesian(b, c.r, c.strat)
+		if err != nil {
+			t.Fatalf("case %+v: %v", c, err)
+		}
+		analytic := part.CartesianStats()
+		generic := GenericStats(b, part)
+		for rank := range analytic {
+			if analytic[rank] != generic[rank] {
+				t.Fatalf("case %+v rank %d:\nanalytic %+v\ngeneric  %+v",
+					c, rank, analytic[rank], generic[rank])
+			}
+		}
+	}
+}
+
+// Property version over random small configurations.
+func TestCartesianStatsMatchGenericProperty(t *testing.T) {
+	f := func(ex8, ey8, ez8, p8, r8, strat8 uint8, px, py, pz bool) bool {
+		ex, ey, ez := int(ex8%3)+2, int(ey8%3)+2, int(ez8%3)+2
+		p := int(p8%3) + 1
+		r := []int{1, 2, 4, 8}[r8%4]
+		strat := []Strategy{Slabs, Pencils, Blocks}[strat8%3]
+		b, err := mesh.NewBox(ex, ey, ez, p, [3]bool{px, py, pz})
+		if err != nil {
+			return true // invalid config, skip
+		}
+		part, err := NewCartesian(b, r, strat)
+		if err != nil {
+			return true // infeasible grid, skip
+		}
+		analytic := part.CartesianStats()
+		generic := GenericStats(b, part)
+		for rank := range analytic {
+			if analytic[rank] != generic[rank] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reproduce the exact R=8 row of Table II: a periodic slab partition with
+// 16^3 elements per rank at p=5 gives 518,400 local nodes, 12,800 halo
+// nodes and 2 neighbors per rank.
+func TestTable2Row8Exact(t *testing.T) {
+	b := box(t, 128, 16, 16, 5, [3]bool{true, true, true})
+	part, err := NewCartesian(b, 8, Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := part.CartesianStats()
+	for rank, st := range stats {
+		if st.LocalNodes != 518400 || st.HaloNodes != 12800 || st.Neighbors != 2 {
+			t.Fatalf("rank %d: %+v, want {518400 12800 2}", rank, st)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := box(t, 4, 4, 4, 1, [3]bool{})
+	part, _ := NewCartesian(b, 4, Slabs)
+	sum := Summarize(b, part.CartesianStats())
+	if sum.Ranks != 4 {
+		t.Fatalf("Ranks = %d", sum.Ranks)
+	}
+	if sum.NodesMin > sum.NodesMax || sum.NodesAvg < float64(sum.NodesMin) || sum.NodesAvg > float64(sum.NodesMax) {
+		t.Fatalf("node summary inconsistent: %+v", sum)
+	}
+	if sum.TotalGraphNodes != b.NumNodes() {
+		t.Fatalf("TotalGraphNodes = %d, want %d", sum.TotalGraphNodes, b.NumNodes())
+	}
+	// End slabs have 1 neighbor, middle slabs 2 (non-periodic).
+	if sum.NeighborsMin != 1 || sum.NeighborsMax != 2 {
+		t.Fatalf("neighbor range %d..%d", sum.NeighborsMin, sum.NeighborsMax)
+	}
+}
+
+func BenchmarkCartesianStats2048(b *testing.B) {
+	// Table II largest row: 2048 ranks, p=5.
+	box, _ := mesh.NewBox(256, 128, 64, 5, [3]bool{true, true, true})
+	part, err := NewCartesian(box, 2048, Blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		part.CartesianStats()
+	}
+}

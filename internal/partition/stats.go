@@ -1,0 +1,257 @@
+package partition
+
+import (
+	"sort"
+
+	"meshgnn/internal/mesh"
+)
+
+// RankStats summarizes one rank's sub-graph, mirroring the columns of the
+// paper's Table II.
+type RankStats struct {
+	// LocalNodes is the number of unique graph nodes on the rank after
+	// local coincident collapse (halo nodes excluded).
+	LocalNodes int64
+	// HaloNodes is the number of halo copies the rank receives: one per
+	// (shared node, neighboring rank owning it) pair.
+	HaloNodes int64
+	// Neighbors is the number of distinct ranks this rank shares at
+	// least one global node with.
+	Neighbors int
+}
+
+// Summary aggregates RankStats over all ranks (min/max/avg, as Table II
+// reports).
+type Summary struct {
+	Ranks                           int
+	NodesMin, NodesMax              int64
+	NodesAvg                        float64
+	HaloMin, HaloMax                int64
+	HaloAvg                         float64
+	NeighborsMin, NeighborsMax      int
+	NeighborsAvg                    float64
+	TotalGraphNodes                 int64 // unique nodes of the global graph
+	TotalLocalNodes, TotalHaloNodes int64
+}
+
+// Summarize folds per-rank stats into a Summary.
+func Summarize(box *mesh.Box, stats []RankStats) Summary {
+	s := Summary{
+		Ranks:           len(stats),
+		TotalGraphNodes: box.NumNodes(),
+		NodesMin:        1<<62 - 1,
+		HaloMin:         1<<62 - 1,
+		NeighborsMin:    1<<31 - 1,
+	}
+	for _, st := range stats {
+		s.TotalLocalNodes += st.LocalNodes
+		s.TotalHaloNodes += st.HaloNodes
+		if st.LocalNodes < s.NodesMin {
+			s.NodesMin = st.LocalNodes
+		}
+		if st.LocalNodes > s.NodesMax {
+			s.NodesMax = st.LocalNodes
+		}
+		if st.HaloNodes < s.HaloMin {
+			s.HaloMin = st.HaloNodes
+		}
+		if st.HaloNodes > s.HaloMax {
+			s.HaloMax = st.HaloNodes
+		}
+		if st.Neighbors < s.NeighborsMin {
+			s.NeighborsMin = st.Neighbors
+		}
+		if st.Neighbors > s.NeighborsMax {
+			s.NeighborsMax = st.Neighbors
+		}
+	}
+	n := float64(len(stats))
+	s.NodesAvg = float64(s.TotalLocalNodes) / n
+	s.HaloAvg = float64(s.TotalHaloNodes) / n
+	s.NeighborsAvg = float64(s.TotalHaloNodes) / n // placeholder, fixed below
+	var nb int64
+	for _, st := range stats {
+		nb += int64(st.Neighbors)
+	}
+	s.NeighborsAvg = float64(nb) / n
+	return s
+}
+
+// CartesianStats computes per-rank statistics analytically from the block
+// structure, without materializing any graph. This is what makes Table II
+// reproducible at 2048 ranks and O(1e9) global nodes on one machine: each
+// rank costs O(26) work.
+func (c *Cartesian) CartesianStats() []RankStats {
+	box := c.Box
+	p := box.P
+	r := c.NumRanks()
+	out := make([]RankStats, r)
+	dims := [3]int{c.Rx, c.Ry, c.Rz}
+	// interval describes a rank's lattice index set along one axis as a
+	// (possibly wrapping) circular interval: start index and length on a
+	// circle of size n. Lengths never exceed n (a block spanning the
+	// whole periodic axis owns exactly the full circle).
+	type interval struct{ start, length, n int }
+	axisInterval := func(d, e0, ne int) interval {
+		n := []int{box.Ex, box.Ey, box.Ez}[d]*p + boundedExtra(box, d)
+		length := ne*p + 1
+		if box.Periodic[d] {
+			if length > n {
+				length = n
+			}
+			return interval{start: (e0 * p) % n, length: length, n: n}
+		}
+		return interval{start: e0 * p, length: length, n: n}
+	}
+	// overlap counts the intersection of two circular intervals by
+	// unrolling b across one period in each direction. Each interval
+	// wraps at most once (length <= n), so three shifted linear overlaps
+	// cover all cases without double counting.
+	overlap := func(a, b interval) int64 {
+		if a.length >= a.n {
+			return int64(b.length)
+		}
+		if b.length >= b.n {
+			return int64(a.length)
+		}
+		var total int64
+		for _, shift := range [3]int{-a.n, 0, a.n} {
+			lo := max(a.start, b.start+shift)
+			hi := min(a.start+a.length, b.start+b.length+shift)
+			if hi > lo {
+				total += int64(hi - lo)
+			}
+		}
+		return total
+	}
+
+	type blockIntervals [3]interval
+	rankIntervals := func(rank int) blockIntervals {
+		x0, y0, z0, nx, ny, nz := c.Block(rank)
+		return blockIntervals{
+			axisInterval(0, x0, nx),
+			axisInterval(1, y0, ny),
+			axisInterval(2, z0, nz),
+		}
+	}
+
+	for rank := 0; rank < r; rank++ {
+		self := rankIntervals(rank)
+		var local int64 = 1
+		for d := 0; d < 3; d++ {
+			local *= int64(self[d].length)
+		}
+		out[rank].LocalNodes = local
+
+		i, j, k := c.RankCoords(rank)
+		coords := [3]int{i, j, k}
+		// Candidate neighbors: grid offsets in {-1,0,1}^3, deduplicated
+		// by rank ID. Blocks two or more apart along an axis cannot
+		// share lattice indices (each block is at least one element
+		// wide), so this candidate set is exhaustive.
+		candidates := make(map[int]bool)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					if dx == 0 && dy == 0 && dz == 0 {
+						continue
+					}
+					off := [3]int{dx, dy, dz}
+					ncoord := [3]int{}
+					valid := true
+					for d := 0; d < 3; d++ {
+						nc := coords[d] + off[d]
+						if box.Periodic[d] {
+							nc = (nc + dims[d]) % dims[d]
+						} else if nc < 0 || nc >= dims[d] {
+							valid = false
+							break
+						}
+						ncoord[d] = nc
+					}
+					if !valid {
+						continue
+					}
+					nrank := c.RankID(ncoord[0], ncoord[1], ncoord[2])
+					if nrank != rank {
+						candidates[nrank] = true
+					}
+				}
+			}
+		}
+		for nrank := range candidates {
+			other := rankIntervals(nrank)
+			cnt := int64(1)
+			for d := 0; d < 3; d++ {
+				cnt *= overlap(self[d], other[d])
+			}
+			if cnt > 0 {
+				out[rank].HaloNodes += cnt
+				out[rank].Neighbors++
+			}
+		}
+	}
+	return out
+}
+
+// boundedExtra returns 1 for bounded axes (whose lattice includes the far
+// endpoint) and 0 for periodic axes.
+func boundedExtra(box *mesh.Box, d int) int {
+	if box.Periodic[d] {
+		return 0
+	}
+	return 1
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GenericStats computes per-rank statistics for any Partition by
+// materializing each rank's unique node set. It is O(total node
+// instances) and intended for validation and for irregular partitioners
+// at modest scale.
+func GenericStats(box *mesh.Box, part Partition) []RankStats {
+	r := part.NumRanks()
+	owners := make(map[int64][]int) // global node -> sorted owner ranks
+	var buf []int64
+	for rank := 0; rank < r; rank++ {
+		seen := make(map[int64]bool)
+		for _, el := range part.Elements(rank) {
+			e, f, g := box.ElementCoords(el)
+			buf = box.ElementNodeIDs(buf[:0], e, f, g)
+			for _, id := range buf {
+				if !seen[id] {
+					seen[id] = true
+					owners[id] = append(owners[id], rank)
+				}
+			}
+		}
+	}
+	out := make([]RankStats, r)
+	neighborSets := make([]map[int]bool, r)
+	for i := range neighborSets {
+		neighborSets[i] = make(map[int]bool)
+	}
+	for _, ranks := range owners {
+		sort.Ints(ranks)
+		for _, rank := range ranks {
+			out[rank].LocalNodes++
+			if len(ranks) > 1 {
+				out[rank].HaloNodes += int64(len(ranks) - 1)
+				for _, other := range ranks {
+					if other != rank {
+						neighborSets[rank][other] = true
+					}
+				}
+			}
+		}
+	}
+	for rank := range out {
+		out[rank].Neighbors = len(neighborSets[rank])
+	}
+	return out
+}

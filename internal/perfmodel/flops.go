@@ -1,0 +1,30 @@
+package perfmodel
+
+import "meshgnn/internal/gnn"
+
+// ModelFlops estimates the per-rank flop count of one training iteration
+// (forward + backward) of the GNN on a sub-graph with the given node and
+// edge counts. Dense layers dominate: a Linear on N rows costs
+// 2·N·in·out flops forward; backward costs roughly twice the forward
+// (one GEMM for the input gradient, one for the weight gradient), giving
+// the standard 3× forward total.
+func ModelFlops(cfg gnn.Config, nodes, edges int64) float64 {
+	h := float64(cfg.HiddenDim)
+	hid := float64(cfg.MLPHiddenLayers)
+	n := float64(nodes)
+	e := float64(edges)
+
+	// MLP forward flops per row: 2·(in·H + hid·H² + H·out) plus ~8·out
+	// for activation and LayerNorm traffic.
+	mlp := func(in, out float64) float64 {
+		return 2*(in*h+hid*h*h+h*out) + 8*out
+	}
+	fwd := n * mlp(float64(cfg.InputNodeFeatures), h) // node encoder
+	fwd += e * mlp(float64(cfg.EdgeMode), h)          // edge encoder
+	m := float64(cfg.MessagePassingLayers)
+	fwd += m * e * mlp(3*h, h)                         // edge updates
+	fwd += m * e * 2 * h                               // degree-scaled aggregation
+	fwd += m * n * mlp(2*h, h)                         // node updates
+	fwd += n * mlp(h, float64(cfg.OutputNodeFeatures)) // decoder
+	return 3 * fwd
+}

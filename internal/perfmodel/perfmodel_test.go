@@ -1,0 +1,147 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/gnn"
+)
+
+func workload(r int) Workload {
+	cfg := gnn.SmallConfig()
+	nodes, edges := int64(518400), int64(3*518400)
+	return Workload{
+		Ranks:        r,
+		NodesPerRank: nodes,
+		EdgesPerRank: edges,
+		HaloPerRank:  12800,
+		Neighbors:    6,
+		MaxSendCount: 6561,
+		Hidden:       cfg.HiddenDim,
+		MPLayers:     cfg.MessagePassingLayers,
+		Params:       cfg.ParamCount(),
+		FlopsPerIter: ModelFlops(cfg, nodes, edges),
+	}
+}
+
+func TestModelFlopsScalesWithSize(t *testing.T) {
+	small := ModelFlops(gnn.SmallConfig(), 1000, 3000)
+	large := ModelFlops(gnn.LargeConfig(), 1000, 3000)
+	if large <= small {
+		t.Fatalf("large model flops %v must exceed small %v", large, small)
+	}
+	twice := ModelFlops(gnn.SmallConfig(), 2000, 6000)
+	if twice <= 1.9*small || twice >= 2.1*small {
+		t.Fatalf("flops must scale ~linearly with graph size: %v vs %v", twice, small)
+	}
+}
+
+func TestHaloTimeOrdering(t *testing.T) {
+	m := Frontier()
+	w := workload(512)
+	none := m.HaloTime(w, comm.NoExchange)
+	na2a := m.HaloTime(w, comm.NeighborAllToAll)
+	a2a := m.HaloTime(w, comm.AllToAllMode)
+	if none != 0 {
+		t.Fatalf("no-exchange time %v", none)
+	}
+	if !(na2a > 0 && a2a > na2a) {
+		t.Fatalf("expected 0 < N-A2A (%v) < A2A (%v)", na2a, a2a)
+	}
+}
+
+// A2A cost must grow roughly linearly with R while N-A2A stays flat —
+// the mechanism behind the paper's Fig. 7 divergence.
+func TestA2AGrowsLinearlyNA2AFlat(t *testing.T) {
+	m := Frontier()
+	a2aSmall := m.HaloTime(workload(64), comm.AllToAllMode)
+	a2aBig := m.HaloTime(workload(2048), comm.AllToAllMode)
+	if ratio := a2aBig / a2aSmall; ratio < 16 || ratio > 64 {
+		t.Fatalf("A2A 64->2048 ratio %v, want ~32", ratio)
+	}
+	naSmall := m.HaloTime(workload(64), comm.NeighborAllToAll)
+	naBig := m.HaloTime(workload(2048), comm.NeighborAllToAll)
+	if ratio := naBig / naSmall; ratio > 1.2 {
+		t.Fatalf("N-A2A must stay flat under weak scaling, ratio %v", ratio)
+	}
+}
+
+func TestThroughputMonotonicity(t *testing.T) {
+	m := Frontier()
+	// Weak scaling: total throughput must increase with R for N-A2A.
+	prev := 0.0
+	for _, r := range []int{8, 64, 512, 2048} {
+		tp := m.Throughput(workload(r), comm.NeighborAllToAll)
+		if tp <= prev {
+			t.Fatalf("R=%d: throughput %v did not increase (prev %v)", r, tp, prev)
+		}
+		prev = tp
+	}
+	// Consistent (N-A2A) throughput can never exceed the no-exchange
+	// baseline.
+	for _, r := range []int{8, 512, 2048} {
+		w := workload(r)
+		if m.Throughput(w, comm.NeighborAllToAll) > m.Throughput(w, comm.NoExchange) {
+			t.Fatalf("R=%d: consistent throughput above baseline", r)
+		}
+	}
+}
+
+// Relative throughput (Fig. 8): N-A2A must stay above 0.9 at moderate
+// scale with the large loading while A2A collapses at large R.
+func TestRelativeThroughputShape(t *testing.T) {
+	m := Frontier()
+	rel := func(r int, mode comm.ExchangeMode) float64 {
+		w := workload(r)
+		return m.Throughput(w, mode) / m.Throughput(w, comm.NoExchange)
+	}
+	if v := rel(64, comm.NeighborAllToAll); v < 0.9 {
+		t.Fatalf("N-A2A relative throughput at 64 ranks = %v, want > 0.9", v)
+	}
+	if v := rel(2048, comm.AllToAllMode); v > 0.5 {
+		t.Fatalf("A2A relative throughput at 2048 ranks = %v, want collapse", v)
+	}
+	if rel(2048, comm.AllToAllMode) >= rel(2048, comm.NeighborAllToAll) {
+		t.Fatal("A2A must be worse than N-A2A at scale")
+	}
+}
+
+func TestAllReduceTimeGrowsWithParams(t *testing.T) {
+	m := Frontier()
+	w := workload(64)
+	small := m.AllReduceTime(w)
+	w.Params = 91459
+	large := m.AllReduceTime(w)
+	if large <= small {
+		t.Fatalf("AllReduce time must grow with parameter count: %v vs %v", small, large)
+	}
+	w.Ranks = 1
+	if m.AllReduceTime(w) != 0 {
+		t.Fatal("single rank needs no AllReduce")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	m := Frontier()
+	cal := m.Calibrate(1e9, 0.1, 100) // measured 0.1s for 1e9 flops, 100x GPU speedup
+	if cal.ComputeRate != 1e12 {
+		t.Fatalf("calibrated rate %v, want 1e12", cal.ComputeRate)
+	}
+	// Degenerate measurements leave the default untouched.
+	same := m.Calibrate(0, 0, 10)
+	if same.ComputeRate != m.ComputeRate {
+		t.Fatal("zero measurement must not change the rate")
+	}
+}
+
+func TestInterFractionSingleNode(t *testing.T) {
+	m := Frontier()
+	w := workload(8)
+	if m.interFraction(w) != 0 {
+		t.Fatal("8 ranks fit one node: all traffic intra-node")
+	}
+	w.Ranks = 64
+	if m.interFraction(w) <= 0 {
+		t.Fatal("multi-node runs must pay inter-node bandwidth")
+	}
+}

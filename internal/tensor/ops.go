@@ -1,0 +1,228 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes dst = a·b. dst must be a.Rows×b.Cols and must not alias
+// a or b. The inner loops are ordered (i,k,j) so the b and dst accesses are
+// unit-stride, which is the cache-friendly form for row-major storage.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ·b, used for weight gradients
+// (dW = xᵀ·dy). dst must be a.Cols×b.Cols.
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
+		brow := b.Data[r*n : (r+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a·bᵀ, used for input gradients
+// (dx = dy·Wᵀ). dst must be a.Rows×b.Rows.
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// AddRowVector adds the length-Cols vector v to every row of m in place.
+func AddRowVector(m *Matrix, v []float64) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, bv := range v {
+			row[j] += bv
+		}
+	}
+}
+
+// ColSums accumulates the column sums of m into dst (dst += sum over rows),
+// used for bias gradients.
+func ColSums(dst []float64, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic("tensor: ColSums length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// Add computes dst = a + b element-wise; all three must share a shape.
+// dst may alias a or b.
+func Add(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("tensor: Add shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// AddScaled computes dst += alpha*src element-wise.
+func AddScaled(dst *Matrix, alpha float64, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: AddScaled shape mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every entry of m by alpha in place.
+func Scale(m *Matrix, alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// GatherRows copies rows src[idx[k]] into dst[k] for each k.
+// dst must have len(idx) rows and src.Cols columns.
+func GatherRows(dst, src *Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: GatherRows shape mismatch")
+	}
+	for k, i := range idx {
+		copy(dst.Row(k), src.Row(i))
+	}
+}
+
+// ScatterAddRows adds src[k] into dst[idx[k]] for each k: the adjoint of
+// GatherRows.
+func ScatterAddRows(dst, src *Matrix, idx []int) {
+	if src.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: ScatterAddRows shape mismatch")
+	}
+	for k, i := range idx {
+		drow := dst.Row(i)
+		srow := src.Row(k)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// HCat concatenates the given matrices horizontally (all must share Rows).
+func HCat(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: HCat row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		drow := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(drow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// SplitCols splits m horizontally into len(widths) matrices whose column
+// counts are widths[i]; the inverse of HCat.
+func SplitCols(m *Matrix, widths ...int) []*Matrix {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != m.Cols {
+		panic("tensor: SplitCols widths do not sum to Cols")
+	}
+	out := make([]*Matrix, len(widths))
+	for k, w := range widths {
+		out[k] = New(m.Rows, w)
+	}
+	for i := 0; i < m.Rows; i++ {
+		srow := m.Row(i)
+		off := 0
+		for k, w := range widths {
+			copy(out[k].Row(i), srow[off:off+w])
+			off += w
+		}
+	}
+	return out
+}
+
+// Frobenius returns the Frobenius norm of m.
+func Frobenius(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of the flattened matrices.
+func Dot(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: Dot shape mismatch")
+	}
+	var s float64
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}

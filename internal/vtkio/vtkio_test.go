@@ -1,0 +1,125 @@
+package vtkio
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/partition"
+	"meshgnn/internal/tensor"
+)
+
+func setup(t *testing.T, ex, ey, ez, p, r int) (*mesh.Box, []*graph.Local) {
+	t.Helper()
+	b, err := mesh.NewBox(ex, ey, ez, p, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.NewCartesian(b, r, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := graph.BuildAll(b, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, locals
+}
+
+func TestWriteLocalStructure(t *testing.T) {
+	b, locals := setup(t, 2, 2, 1, 2, 1)
+	l := locals[0]
+	var sb strings.Builder
+	vec := tensor.New(l.NumLocal(), 3)
+	scal := tensor.New(l.NumLocal(), 1)
+	for i := 0; i < l.NumLocal(); i++ {
+		scal.Set(i, 0, float64(i))
+	}
+	if err := WriteLocal(&sb, b, l, FieldData{"velocity", vec}, FieldData{"pressure", scal}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET UNSTRUCTURED_GRID",
+		fmt.Sprintf("POINTS %d double", l.NumLocal()),
+		"CELL_TYPES",
+		"VECTORS velocity double",
+		"SCALARS pressure double 1",
+		"SCALARS rank int 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in VTK output", want)
+		}
+	}
+	// 4 elements at p=2 -> 4 * 2^3 = 32 hexahedral sub-cells.
+	if !strings.Contains(out, "CELLS 32 288") {
+		t.Fatalf("wrong cell count header:\n%s", firstLines(out, 8))
+	}
+}
+
+func TestWriteLocalPartitioned(t *testing.T) {
+	b, locals := setup(t, 4, 2, 2, 1, 2)
+	total := 0
+	for _, l := range locals {
+		var sb strings.Builder
+		if err := WriteLocal(&sb, b, l); err != nil {
+			t.Fatal(err)
+		}
+		// Each rank writes its own element cells: count CELL_TYPES rows.
+		out := sb.String()
+		var n int
+		fmt.Sscanf(out[strings.Index(out, "CELLS ")+6:], "%d", &n)
+		total += n
+	}
+	if total != b.NumElements() {
+		t.Fatalf("ranks wrote %d cells, mesh has %d elements", total, b.NumElements())
+	}
+}
+
+func TestWriteLocalFieldValidation(t *testing.T) {
+	b, locals := setup(t, 2, 1, 1, 1, 1)
+	l := locals[0]
+	if err := WriteLocal(&strings.Builder{}, b, l,
+		FieldData{"bad", tensor.New(3, 1)}); err == nil {
+		t.Fatal("expected error for wrong row count")
+	}
+	if err := WriteLocal(&strings.Builder{}, b, l,
+		FieldData{"bad", tensor.New(l.NumLocal(), 2)}); err == nil {
+		t.Fatal("expected error for 2-column field")
+	}
+}
+
+func TestWriteLocalMappedCoordinates(t *testing.T) {
+	b, err := mesh.NewBox(2, 2, 1, 1, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetMapping(mesh.AnnulusSector(1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l, err := graph.BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteLocal(&sb, b, l); err != nil {
+		t.Fatal(err)
+	}
+	// The first point must be the mapped coordinate of node 0.
+	x, y, z := b.NodeCoord(l.GlobalIDs[0])
+	want := fmt.Sprintf("%g %g %g", x, y, z)
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("mapped coordinates missing: want %q", want)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
