@@ -25,6 +25,7 @@ import (
 	"meshgnn/internal/comm"
 	"meshgnn/internal/experiments"
 	"meshgnn/internal/gnn"
+	"meshgnn/internal/parallel"
 	"meshgnn/internal/perfmodel"
 )
 
@@ -41,8 +42,14 @@ func main() {
 		strong    = flag.Bool("strong", false, "also project a strong-scaling sweep (fixed 64^3-element mesh)")
 		inference = flag.Bool("inference", false, "also project inference-only (forward pass) throughput")
 		reduced   = flag.Bool("reduced", false, "also report the reduced-graph (coincident collapse) ablation")
+		threads   = flag.Int("threads", 0, "intra-rank worker threads per kernel (0 = GOMAXPROCS, 1 = serial)")
+		det       = flag.Bool("deterministic", true, "fixed-schedule reductions: results bitwise-identical for any -threads")
 	)
 	flag.Parse()
+	if *threads < 0 {
+		log.Fatalf("-threads must be >= 0, got %d", *threads)
+	}
+	parallel.Configure(*threads, *det)
 
 	fmt.Println("Table I: GNN model settings")
 	fmt.Println()
@@ -108,8 +115,8 @@ func main() {
 // runMeasured executes the real distributed trainer across rank counts
 // and exchange modes on this host.
 func runMeasured(p, elems, iters int) {
-	fmt.Printf("\nFig. 7 (measured tier): real goroutine ranks, %d^3 elements/rank, p=%d, %d iters/point\n",
-		elems, p, iters)
+	fmt.Printf("\nFig. 7 (measured tier): real goroutine ranks, %d^3 elements/rank, p=%d, %d iters/point, %d intra-rank threads\n",
+		elems, p, iters, parallel.Threads())
 	fmt.Println("(single-host ranks time-share cores: compare the relative column, not absolute scaling)")
 	fmt.Println()
 	pts, err := experiments.Fig7Measured(p, elems, []int{1, 2, 4, 8}, gnn.SmallConfig(),

@@ -42,9 +42,15 @@ func main() {
 		noise    = flag.Float64("noise", 0, "partition-consistent input noise sigma")
 		saveTo   = flag.String("save", "", "write the trained model checkpoint to this path")
 		loadFrom = flag.String("load", "", "initialize the model from this checkpoint")
+		threads  = flag.Int("threads", 0, "intra-rank worker threads per kernel (0 = GOMAXPROCS, 1 = serial)")
+		det      = flag.Bool("deterministic", true, "fixed-schedule reductions: results bitwise-identical for any -threads")
 	)
 	flag.Parse()
 
+	if *threads < 0 {
+		log.Fatalf("-threads must be >= 0, got %d", *threads)
+	}
+	meshgnn.SetParallelism(*threads, *det)
 	mode, err := parseMode(*modeFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -54,6 +60,9 @@ func main() {
 		cfg = meshgnn.LargeConfig()
 	}
 	cfg.Attention = *attn
+	// Parallelism is configured once, above, via SetParallelism; the
+	// Config knob stays zero so model construction (and checkpoint
+	// loading) cannot re-apply a second, divergent setting.
 	f, err := fieldByName(*fieldSel)
 	if err != nil {
 		log.Fatal(err)
@@ -67,8 +76,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mesh %d^3 elements p=%d (%d nodes), %d ranks, %s exchange, %s model (%d params)\n",
-		*elems, *p, m.NumNodes(), *ranks, mode, cfg.Name, cfg.ParamCount())
+	effThreads, _ := meshgnn.Parallelism()
+	fmt.Printf("mesh %d^3 elements p=%d (%d nodes), %d ranks, %s exchange, %s model (%d params), %d intra-rank threads\n",
+		*elems, *p, m.NumNodes(), *ranks, mode, cfg.Name, cfg.ParamCount(), effThreads)
 
 	if *verify {
 		diff, err := meshgnn.VerifyConsistency(sys, cfg, mode, f, *t0)

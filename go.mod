@@ -1,0 +1,3 @@
+module meshgnn
+
+go 1.24

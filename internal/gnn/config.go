@@ -54,6 +54,22 @@ type Config struct {
 	// Seed drives the deterministic parameter initialization; every
 	// rank constructing the same Config holds identical parameters.
 	Seed int64
+	// Threads, when positive, pins the process-wide intra-rank worker
+	// count used by the parallel compute kernels (tensor GEMMs, NMP
+	// gather/scatter, MLP forward/backward). 0 leaves the engine at its
+	// current setting (GOMAXPROCS by default) entirely untouched,
+	// including NonDeterministic below. The knob is process-wide because
+	// the worker pool is shared across goroutine ranks; NewModel applies
+	// it. Callers that want to configure the engine without building a
+	// model use parallel.Configure (meshgnn.SetParallelism) directly.
+	Threads int
+	// NonDeterministic relaxes the engine's fixed-schedule reductions:
+	// chunking may then depend on the thread count, which is marginally
+	// faster but no longer bitwise reproducible across different Threads
+	// settings. Only consulted when Threads != 0 — with Threads == 0 the
+	// whole engine configuration is left alone. Leave false (the
+	// default) for the consistency and partition-invariance guarantees.
+	NonDeterministic bool
 }
 
 // SmallConfig returns the paper's "small" model: N_H=8, M=4, 2 MLP hidden
@@ -99,6 +115,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gnn: MessagePassingLayers must be >= 1, got %d", c.MessagePassingLayers)
 	case c.MLPHiddenLayers < 0:
 		return fmt.Errorf("gnn: MLPHiddenLayers must be >= 0, got %d", c.MLPHiddenLayers)
+	case c.Threads < 0:
+		return fmt.Errorf("gnn: Threads must be >= 0, got %d", c.Threads)
 	}
 	if c.EdgeMode != EdgeFeatures4 && c.EdgeMode != EdgeFeatures7 {
 		return fmt.Errorf("gnn: unsupported EdgeMode %d", c.EdgeMode)

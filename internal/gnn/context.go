@@ -6,6 +6,7 @@ import (
 	"meshgnn/internal/comm"
 	"meshgnn/internal/graph"
 	"meshgnn/internal/mesh"
+	"meshgnn/internal/parallel"
 	"meshgnn/internal/tensor"
 )
 
@@ -62,14 +63,17 @@ func (rc *RankContext) EdgeInputs(mode EdgeFeatureMode, x *tensor.Matrix) *tenso
 		return rc.StaticEdge
 	case EdgeFeatures7:
 		out := tensor.New(rc.Graph.NumEdges(), 7)
-		for k, e := range rc.Graph.Edges {
-			row := out.Row(k)
-			xs, xd := x.Row(e[0]), x.Row(e[1])
-			for j := 0; j < 3 && j < len(xs); j++ {
-				row[j] = xd[j] - xs[j]
+		parallel.For(rc.Graph.NumEdges(), 512, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				e := rc.Graph.Edges[k]
+				row := out.Row(k)
+				xs, xd := x.Row(e[0]), x.Row(e[1])
+				for j := 0; j < 3 && j < len(xs); j++ {
+					row[j] = xd[j] - xs[j]
+				}
+				copy(row[3:], rc.StaticEdge.Row(k))
 			}
-			copy(row[3:], rc.StaticEdge.Row(k))
-		}
+		})
 		return out
 	}
 	panic(fmt.Sprintf("gnn: unsupported edge mode %d", mode))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"meshgnn/internal/nn"
+	"meshgnn/internal/parallel"
 	"meshgnn/internal/tensor"
 )
 
@@ -42,6 +43,12 @@ type ProcessorLayer interface {
 func NewModel(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Threads != 0 {
+		// The intra-rank engine is process-wide (the worker pool is
+		// shared by all goroutine ranks), so the knob configures it
+		// globally rather than per model.
+		parallel.Configure(cfg.Threads, !cfg.NonDeterministic)
 	}
 	rng := cfg.newRNG()
 	h := cfg.HiddenDim

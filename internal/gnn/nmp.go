@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"meshgnn/internal/nn"
+	"meshgnn/internal/parallel"
 	"meshgnn/internal/tensor"
 )
 
@@ -20,6 +21,14 @@ import (
 // (inconsistent) NMP formulation the paper uses as its baseline.
 // Residual connections wrap both MLPs, matching the encode-process-decode
 // processors of the MeshGraphNets lineage the paper builds on.
+//
+// All hot loops run on the intra-rank worker pool. The edge update (4a)
+// and the aggregation adjoint partition cleanly over edges; the
+// aggregation (4b) and the edge-input adjoint scatter partition over
+// *receiver* (resp. sender) nodes through the graph's CSR edge indexes,
+// so no two workers ever accumulate into the same row — scatter-adds need
+// neither atomics nor locks, and every output bit is independent of the
+// thread count.
 type NMPLayer struct {
 	EdgeMLP *nn.MLP // (x_dst ‖ x_src ‖ e) → H
 	NodeMLP *nn.MLP // (a* ‖ x) → H
@@ -34,6 +43,15 @@ type NMPLayer struct {
 	edgeIn   *tensor.Matrix
 	nodeIn   *tensor.Matrix
 	haloRows int
+}
+
+// edgeGrain bounds chunk dispatch overhead for per-edge loops of width h.
+func edgeGrain(h int) int {
+	g := 4096 / (3 * h)
+	if g < 8 {
+		g = 8
+	}
+	return g
 }
 
 // NewNMPLayer builds the layer's MLPs.
@@ -52,37 +70,50 @@ func (l *NMPLayer) Forward(rc *RankContext, x, e *tensor.Matrix) (xOut, eOut *te
 	g := rc.Graph
 	h := x.Cols
 
-	// (4a) edge update with residual.
+	// (4a) edge update with residual. Each edge row is written once.
 	l.edgeIn = tensor.New(g.NumEdges(), 3*h)
-	for k, ed := range g.Edges {
-		row := l.edgeIn.Row(k)
-		copy(row[:h], x.Row(ed[1]))    // x_i (receiver)
-		copy(row[h:2*h], x.Row(ed[0])) // x_j (sender)
-		copy(row[2*h:], e.Row(k))      // e_ij
-	}
+	parallel.For(g.NumEdges(), edgeGrain(h), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			ed := g.Edges[k]
+			row := l.edgeIn.Row(k)
+			copy(row[:h], x.Row(ed[1]))    // x_i (receiver)
+			copy(row[h:2*h], x.Row(ed[0])) // x_j (sender)
+			copy(row[2*h:], e.Row(k))      // e_ij
+		}
+	})
 	eOut = l.EdgeMLP.Forward(l.edgeIn)
 	tensor.AddScaled(eOut, 1, e) // residual
 
-	// (4b) degree-scaled local aggregation at the receiver.
+	// (4b) degree-scaled local aggregation at the receiver. Edges are
+	// sorted by destination, so RecvStart partitions them by receiver:
+	// each worker owns a span of receiver rows and walks its incoming
+	// edges in canonical order — the same per-row summation order as a
+	// serial edge sweep, for any thread count.
 	agg := tensor.New(g.NumLocal(), h)
-	for k, ed := range g.Edges {
-		dst := agg.Row(ed[1])
-		src := eOut.Row(k)
-		inv := 1.0
-		if !l.DisableDegreeScaling {
-			inv = 1 / g.EdgeDegree[k]
+	parallel.For(g.NumLocal(), edgeGrain(h), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := agg.Row(i)
+			for k := g.RecvStart[i]; k < g.RecvStart[i+1]; k++ {
+				src := eOut.Row(k)
+				inv := 1.0
+				if !l.DisableDegreeScaling {
+					inv = 1 / g.EdgeDegree[k]
+				}
+				for j, v := range src {
+					dst[j] += inv * v
+				}
+			}
 		}
-		for j, v := range src {
-			dst[j] += inv * v
-		}
-	}
+	})
 
 	// (4c) halo swap of the local aggregates.
 	l.haloRows = g.NumHalo()
 	halo := tensor.New(l.haloRows, h)
 	l.rc.Ex.Forward(rc.Comm, agg, halo)
 
-	// (4d) synchronization: owners absorb their halo copies.
+	// (4d) synchronization: owners absorb their halo copies. Halo rows
+	// are few (a surface term) and several may share an owner, so this
+	// stays serial.
 	for hr, owner := range g.HaloOwner {
 		dst := agg.Row(owner)
 		for j, v := range halo.Row(hr) {
@@ -127,19 +158,22 @@ func (l *NMPLayer) Backward(dxOut, deOut *tensor.Matrix) (dx, de *tensor.Matrix)
 	// neighbors' local aggregate gradients.
 	rc.Ex.Adjoint(rc.Comm, dHalo, dAgg)
 
-	// (4b) aggregation backward: de_k = dAgg[dst_k] / d_k.
+	// (4b) aggregation backward: de_k = dAgg[dst_k] / d_k. A pure gather
+	// per edge — every edge row written exactly once.
 	dEOut := tensor.New(g.NumEdges(), h)
-	for k, ed := range g.Edges {
-		src := dAgg.Row(ed[1])
-		dst := dEOut.Row(k)
-		inv := 1.0
-		if !l.DisableDegreeScaling {
-			inv = 1 / g.EdgeDegree[k]
+	parallel.For(g.NumEdges(), edgeGrain(h), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			src := dAgg.Row(g.Edges[k][1])
+			dst := dEOut.Row(k)
+			inv := 1.0
+			if !l.DisableDegreeScaling {
+				inv = 1 / g.EdgeDegree[k]
+			}
+			for j, v := range src {
+				dst[j] = inv * v
+			}
 		}
-		for j, v := range src {
-			dst[j] = inv * v
-		}
-	}
+	})
 	// deOut also flows directly into eOut (it is returned upward).
 	tensor.AddScaled(dEOut, 1, deOut)
 
@@ -148,16 +182,11 @@ func (l *NMPLayer) Backward(dxOut, deOut *tensor.Matrix) (dx, de *tensor.Matrix)
 	eparts := tensor.SplitCols(dEdgeIn, h, h, h)
 	de = dEOut.Clone()
 	tensor.AddScaled(de, 1, eparts[2])
-	for k, ed := range g.Edges {
-		dst1 := dx.Row(ed[1])
-		for j, v := range eparts[0].Row(k) {
-			dst1[j] += v
-		}
-		dst0 := dx.Row(ed[0])
-		for j, v := range eparts[1].Row(k) {
-			dst0[j] += v
-		}
-	}
+	// The receiver-side gradient scatters along the (dst,src)-sorted
+	// edges directly; the sender-side gradient scatters through the
+	// sender-grouped permutation. Both partition by destination row.
+	tensor.ScatterAddRowsGrouped(dx, eparts[0], g.RecvStart, nil)
+	tensor.ScatterAddRowsGrouped(dx, eparts[1], g.SendStart, g.SendPerm)
 	return dx, de
 }
 

@@ -54,6 +54,19 @@ type Local struct {
 	// halo row h; the synchronization step accumulates halo aggregates
 	// into their owners.
 	HaloOwner []int
+	// RecvStart is the receiver-grouped CSR over Edges: because Edges is
+	// sorted by (dst,src), the edges arriving at local node i occupy
+	// Edges[RecvStart[i]:RecvStart[i+1]]. The aggregation kernels use it
+	// to partition scatter-adds by receiver, so intra-rank workers never
+	// contend on a destination row.
+	RecvStart []int
+	// SendPerm lists edge indices sorted by (src,dst) and SendStart is
+	// the matching CSR: the edges leaving local node i are
+	// SendPerm[SendStart[i]:SendStart[i+1]], each slice ascending in the
+	// canonical edge order. The backward pass uses it to scatter
+	// sender-side gradients by owner, again without atomics.
+	SendPerm  []int
+	SendStart []int
 	// GlobalNodes is the unique node count of the full graph, for
 	// convenience in loss normalization checks.
 	GlobalNodes int64
@@ -215,9 +228,35 @@ func BuildAll(box *mesh.Box, part partition.Partition) ([]*Local, error) {
 			plan.RecvIdx = append(plan.RecvIdx, recv)
 		}
 		l.Plan = plan
+		l.buildCSR()
 		locals[rank] = l
 	}
 	return locals, nil
+}
+
+// buildCSR derives the receiver- and sender-grouped edge indexes from the
+// canonical (dst,src)-sorted edge list. Counting sort keeps SendPerm
+// stable — within one source node the canonical edge order is preserved —
+// so every CSR walk visits edges in a deterministic order.
+func (l *Local) buildCSR() {
+	n := l.NumLocal()
+	l.RecvStart = make([]int, n+1)
+	l.SendStart = make([]int, n+1)
+	for _, e := range l.Edges {
+		l.RecvStart[e[1]+1]++
+		l.SendStart[e[0]+1]++
+	}
+	for i := 0; i < n; i++ {
+		l.RecvStart[i+1] += l.RecvStart[i]
+		l.SendStart[i+1] += l.SendStart[i]
+	}
+	l.SendPerm = make([]int, len(l.Edges))
+	fill := make([]int, n)
+	copy(fill, l.SendStart[:n])
+	for k, e := range l.Edges {
+		l.SendPerm[fill[e[0]]] = k
+		fill[e[0]]++
+	}
 }
 
 // BuildSingle constructs the unpartitioned R=1 graph (mask-aware).

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"meshgnn/internal/parallel"
 	"meshgnn/internal/tensor"
 )
 
@@ -104,16 +105,19 @@ type ELU struct {
 	y *tensor.Matrix
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Element-wise, so the parallel partition over
+// the flat storage cannot change any result bit.
 func (e *ELU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	y := tensor.New(x.Rows, x.Cols)
-	for i, v := range x.Data {
-		if v > 0 {
-			y.Data[i] = v
-		} else {
-			y.Data[i] = math.Exp(v) - 1
+	parallel.For(len(x.Data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				y.Data[i] = v
+			} else {
+				y.Data[i] = math.Exp(v) - 1
+			}
 		}
-	}
+	})
 	e.y = y
 	return y
 }
@@ -121,13 +125,16 @@ func (e *ELU) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward implements Layer.
 func (e *ELU) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	dx := tensor.New(dy.Rows, dy.Cols)
-	for i, g := range dy.Data {
-		if y := e.y.Data[i]; y > 0 {
-			dx.Data[i] = g
-		} else {
-			dx.Data[i] = g * (y + 1) // d/dx (e^x - 1) = e^x = y + 1
+	parallel.For(len(dy.Data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := dy.Data[i]
+			if y := e.y.Data[i]; y > 0 {
+				dx.Data[i] = g
+			} else {
+				dx.Data[i] = g * (y + 1) // d/dx (e^x - 1) = e^x = y + 1
+			}
 		}
-	}
+	})
 	return dx
 }
 
@@ -171,57 +178,74 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	y := tensor.New(x.Rows, x.Cols)
 	ln.xhat = tensor.New(x.Rows, x.Cols)
 	ln.invStd = make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
-		var mu float64
-		for _, v := range row {
-			mu += v
+	// Each row normalizes independently: a pure row partition.
+	parallel.For(x.Rows, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			var mu float64
+			for _, v := range row {
+				mu += v
+			}
+			mu /= n
+			var varsum float64
+			for _, v := range row {
+				d := v - mu
+				varsum += d * d
+			}
+			inv := 1 / math.Sqrt(varsum/n+Epsilon)
+			ln.invStd[i] = inv
+			xh := ln.xhat.Row(i)
+			out := y.Row(i)
+			for j, v := range row {
+				xh[j] = (v - mu) * inv
+				out[j] = xh[j]*ln.Gain.W.Data[j] + ln.Shift.W.Data[j]
+			}
 		}
-		mu /= n
-		var varsum float64
-		for _, v := range row {
-			d := v - mu
-			varsum += d * d
-		}
-		inv := 1 / math.Sqrt(varsum/n+Epsilon)
-		ln.invStd[i] = inv
-		xh := ln.xhat.Row(i)
-		out := y.Row(i)
-		for j, v := range row {
-			xh[j] = (v - mu) * inv
-			out[j] = xh[j]*ln.Gain.W.Data[j] + ln.Shift.W.Data[j]
-		}
-	}
+	})
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The input gradient is a pure row partition;
+// the gain/shift gradients reduce over all rows, so they accumulate into
+// per-chunk partials merged in fixed order (bitwise-reproducible across
+// thread counts under the engine's deterministic mode).
 func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	n := float64(ln.Dim)
+	dim := ln.Dim
 	dx := tensor.New(dy.Rows, dy.Cols)
-	for i := 0; i < dy.Rows; i++ {
-		dyr := dy.Row(i)
-		xh := ln.xhat.Row(i)
-		// Parameter gradients.
-		for j, g := range dyr {
-			ln.Gain.G.Data[j] += g * xh[j]
-			ln.Shift.G.Data[j] += g
-		}
-		// Input gradient:
-		// dx = invStd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
-		var sum1, sum2 float64
-		for j, g := range dyr {
-			dxh := g * ln.Gain.W.Data[j]
-			sum1 += dxh
-			sum2 += dxh * xh[j]
-		}
-		inv := ln.invStd[i]
-		out := dx.Row(i)
-		for j, g := range dyr {
-			dxh := g * ln.Gain.W.Data[j]
-			out[j] = inv / n * (n*dxh - sum1 - xh[j]*sum2)
-		}
-	}
+	parallel.Reduce(dy.Rows, 256, 2*dim,
+		func(lo, hi int, acc []float64) {
+			dGain, dShift := acc[:dim], acc[dim:]
+			for i := lo; i < hi; i++ {
+				dyr := dy.Row(i)
+				xh := ln.xhat.Row(i)
+				// Parameter gradient partials.
+				for j, g := range dyr {
+					dGain[j] += g * xh[j]
+					dShift[j] += g
+				}
+				// Input gradient:
+				// dx = invStd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
+				var sum1, sum2 float64
+				for j, g := range dyr {
+					dxh := g * ln.Gain.W.Data[j]
+					sum1 += dxh
+					sum2 += dxh * xh[j]
+				}
+				inv := ln.invStd[i]
+				out := dx.Row(i)
+				for j, g := range dyr {
+					dxh := g * ln.Gain.W.Data[j]
+					out[j] = inv / n * (n*dxh - sum1 - xh[j]*sum2)
+				}
+			}
+		},
+		func(acc []float64) {
+			for j := 0; j < dim; j++ {
+				ln.Gain.G.Data[j] += acc[j]
+				ln.Shift.G.Data[j] += acc[dim+j]
+			}
+		})
 	return dx
 }
 

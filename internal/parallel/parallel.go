@@ -1,0 +1,288 @@
+// Package parallel is the intra-rank compute engine: a persistent worker
+// pool with chunked For/Reduce primitives that the tensor, nn, and gnn
+// kernels run on. It is the second axis of parallelism in this library —
+// goroutine ranks provide the SPMD (inter-rank) axis, and this package
+// multiplies each rank's per-core throughput without changing any
+// numerical result.
+//
+// Determinism contract. The paper's consistency properties (Eqs. 2–3) are
+// asserted to near machine precision, and the partition-invariance and
+// checkpoint-resumption tests require bitwise-reproducible arithmetic. The
+// engine therefore guarantees that, in deterministic mode (the default),
+// every result is bitwise-identical for any Threads setting:
+//
+//   - For partitions [0,n) into disjoint chunks where each index is
+//     written by exactly one worker, so chunking cannot change results;
+//   - Reduce derives its chunk structure from the problem shape only
+//     (never from the thread count), gives every chunk a private partial
+//     accumulator, and merges the partials in ascending chunk order. The
+//     Threads=1 path executes the *same* chunk schedule sequentially, so
+//     serial and parallel runs agree bit-for-bit.
+//
+// This is the fixed-schedule reduction discipline: floating-point addition
+// is not associative, so reproducibility requires the summation tree to be
+// a function of the data layout alone. SetDeterministic(false) relaxes
+// Reduce to thread-count-dependent chunking (fewer, larger partials —
+// slightly faster, still race-free and run-to-run stable for a fixed
+// Threads value, but not reproducible across different Threads settings).
+//
+// The pool is process-wide and shared by all goroutine ranks: concurrent
+// For/Reduce calls from different ranks interleave their chunks over the
+// same workers. Each calling rank also executes chunks itself, so R ranks
+// at Threads = T run on at most R + (T-1) goroutines — the pool adds at
+// most T-1 workers on top of the SPMD ranks, never R×T.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one parallel region: a chunk-indexed function plus the bookkeeping
+// that lets any number of workers claim chunks until none remain.
+type job struct {
+	fn      func(chunk int)
+	chunks  int32
+	next    atomic.Int32
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// run claims and executes chunks until the job is exhausted. The last
+// chunk to finish signals completion.
+func (j *job) run() {
+	for {
+		c := j.next.Add(1) - 1
+		if c >= j.chunks {
+			return
+		}
+		j.fn(int(c))
+		if j.pending.Add(-1) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+var (
+	// threads is the current participant bound per parallel region
+	// (caller + pool workers); 0 means "not yet initialized".
+	threads atomic.Int32
+	// nonDeterministic relaxes the Reduce chunk schedule.
+	nonDeterministic atomic.Bool
+
+	// queue feeds jobs to the persistent workers. Workers are spawned
+	// lazily and live for the process lifetime; idle workers cost only a
+	// parked goroutine.
+	queue     chan *job
+	workerMu  sync.Mutex
+	workers   int
+	queueOnce sync.Once
+)
+
+func initQueue() {
+	queueOnce.Do(func() { queue = make(chan *job, 1024) })
+}
+
+// ensureWorkers grows the persistent worker set to at least n goroutines.
+func ensureWorkers(n int) {
+	if n <= 0 {
+		return
+	}
+	initQueue()
+	workerMu.Lock()
+	for workers < n {
+		go func() {
+			for j := range queue {
+				j.run()
+			}
+		}()
+		workers++
+	}
+	workerMu.Unlock()
+}
+
+// loadThreads returns the active thread bound, initializing it to
+// GOMAXPROCS on first use.
+func loadThreads() int {
+	t := threads.Load()
+	if t == 0 {
+		SetThreads(0)
+		t = threads.Load()
+	}
+	return int(t)
+}
+
+// SetThreads bounds the number of participants (calling goroutine plus
+// pool workers) per parallel region. n <= 0 resets to runtime.GOMAXPROCS.
+// With n == 1 every primitive runs inline on the caller — the same chunk
+// schedule, executed sequentially.
+func SetThreads(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	threads.Store(int32(n))
+	ensureWorkers(n - 1)
+}
+
+// Threads returns the current participant bound.
+func Threads() int { return loadThreads() }
+
+// SetDeterministic toggles the fixed-schedule reduction discipline
+// (default true). When false, Reduce may choose chunk sizes from the
+// thread count, trading cross-Threads bitwise reproducibility for fewer
+// partial buffers.
+func SetDeterministic(det bool) { nonDeterministic.Store(!det) }
+
+// Deterministic reports whether fixed-schedule reductions are active.
+func Deterministic() bool { return !nonDeterministic.Load() }
+
+// Configure sets both knobs at once; threads <= 0 resets to GOMAXPROCS.
+func Configure(threads int, deterministic bool) {
+	SetThreads(threads)
+	SetDeterministic(deterministic)
+}
+
+// runJob executes a chunked region with up to t participants. The caller
+// always participates, so the region completes even if every pool worker
+// is busy with other ranks' jobs.
+func runJob(chunks, t int, fn func(chunk int)) {
+	j := &job{fn: fn, chunks: int32(chunks), done: make(chan struct{})}
+	j.pending.Store(int32(chunks))
+	tickets := t - 1
+	if tickets > chunks-1 {
+		tickets = chunks - 1
+	}
+	initQueue()
+offer:
+	for i := 0; i < tickets; i++ {
+		select {
+		case queue <- j:
+		default:
+			// Queue saturated: every worker already has work queued up;
+			// the caller and whoever picked up earlier tickets finish it.
+			break offer
+		}
+	}
+	j.run()
+	<-j.done
+}
+
+// For runs fn over disjoint index ranges covering [0, n). grain is the
+// minimum chunk length; the engine may enlarge chunks to keep per-chunk
+// overhead negligible. Each index lands in exactly one chunk, so the
+// result is independent of both chunking and scheduling — For is safe for
+// any kernel whose iterations write disjoint outputs.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	t := loadThreads()
+	chunk := grain
+	// Aim for ~4 chunks per participant so stragglers rebalance.
+	if c := (n + 4*t - 1) / (4 * t); c > chunk {
+		chunk = c
+	}
+	numChunks := (n + chunk - 1) / chunk
+	if t == 1 || numChunks == 1 {
+		fn(0, n)
+		return
+	}
+	runJob(numChunks, t, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// bufPool recycles partial accumulators between Reduce calls.
+var bufPool sync.Pool
+
+func getBuf(n int) []float64 {
+	if v := bufPool.Get(); v != nil {
+		b := *(v.(*[]float64))
+		if cap(b) >= n {
+			b = b[:n]
+			for i := range b {
+				b[i] = 0
+			}
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+func putBuf(b []float64) {
+	bufPool.Put(&b)
+}
+
+// Reduce performs a chunked reduction over [0, n). body accumulates the
+// contribution of rows [lo, hi) into its private, zeroed accumulator of
+// length accLen; merge folds accumulators into the caller's destination
+// and is invoked sequentially in ascending chunk order.
+//
+// In deterministic mode the chunk structure is ceil(n/grain) regardless of
+// the thread count, so the summation tree — and hence every output bit —
+// is a function of (n, grain, accLen, data) alone. grain must therefore be
+// derived from problem shape only, never from Threads().
+func Reduce(n, grain, accLen int, body func(lo, hi int, acc []float64), merge func(acc []float64)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	t := loadThreads()
+	chunk := grain
+	if nonDeterministic.Load() {
+		// Relaxed mode: one chunk per participant when that is coarser.
+		if c := (n + t - 1) / t; c > chunk {
+			chunk = c
+		}
+	}
+	numChunks := (n + chunk - 1) / chunk
+	if t == 1 || numChunks == 1 {
+		// Sequential execution of the identical chunk schedule: partials
+		// are formed and merged in the same order as the parallel path,
+		// so the two are bitwise interchangeable.
+		acc := getBuf(accLen)
+		for c := 0; c < numChunks; c++ {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if c > 0 {
+				for i := range acc {
+					acc[i] = 0
+				}
+			}
+			body(lo, hi, acc)
+			merge(acc)
+		}
+		putBuf(acc)
+		return
+	}
+	partials := make([][]float64, numChunks)
+	runJob(numChunks, t, func(c int) {
+		acc := getBuf(accLen)
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi, acc)
+		partials[c] = acc
+	})
+	// Fixed-order merge: ascending chunk index, on the calling goroutine.
+	for _, acc := range partials {
+		merge(acc)
+		putBuf(acc)
+	}
+}

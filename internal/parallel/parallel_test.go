@@ -1,0 +1,231 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withThreads runs f under a given Threads setting and restores the
+// default afterwards (tests share process-global engine state).
+func withThreads(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetThreads(n)
+	defer Configure(0, true)
+	f()
+}
+
+// TestForCoversRangeOnce asserts every index in [0,n) is visited exactly
+// once for a spread of sizes, grains, and thread counts — including the
+// degenerate empty and single-element inputs.
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 7, 64} {
+				visits := make([]int32, n)
+				withThreads(t, threads, func() {
+					For(n, grain, func(lo, hi int) {
+						if lo < 0 || hi > n || lo > hi {
+							t.Errorf("chunk [%d,%d) outside [0,%d)", lo, hi, n)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&visits[i], 1)
+						}
+					})
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("threads=%d n=%d grain=%d: index %d visited %d times",
+							threads, n, grain, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEmptyNeverCalls asserts n<=0 never invokes the body.
+func TestForEmptyNeverCalls(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		For(n, 1, func(lo, hi int) { t.Fatalf("body called for n=%d", n) })
+	}
+}
+
+// TestReduceBitwiseAcrossThreads is the determinism contract: a
+// non-associative floating-point reduction must produce bitwise-identical
+// results for Threads in {1, 2, 8}.
+func TestReduceBitwiseAcrossThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 100, 10000} {
+		// Wildly varying magnitudes make the sum order-sensitive.
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * float64(int64(1)<<uint(rng.Intn(40)))
+		}
+		sum := func() float64 {
+			var total float64
+			Reduce(n, 64, 1, func(lo, hi int, acc []float64) {
+				for i := lo; i < hi; i++ {
+					acc[0] += data[i]
+				}
+			}, func(acc []float64) { total += acc[0] })
+			return total
+		}
+		var ref float64
+		withThreads(t, 1, func() { ref = sum() })
+		for _, threads := range []int{2, 8} {
+			var got float64
+			withThreads(t, threads, func() { got = sum() })
+			if got != ref {
+				t.Fatalf("n=%d threads=%d: sum %x != serial %x", n, threads, got, ref)
+			}
+		}
+	}
+}
+
+// TestReduceMultiColumn exercises accLen > 1 (the GEMM partial shape) and
+// checks the result against a plain serial accumulation within tolerance.
+func TestReduceMultiColumn(t *testing.T) {
+	const n, cols = 1000, 17
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, n*cols)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	want := make([]float64, cols)
+	for r := 0; r < n; r++ {
+		for c := 0; c < cols; c++ {
+			want[c] += data[r*cols+c]
+		}
+	}
+	withThreads(t, 4, func() {
+		got := make([]float64, cols)
+		Reduce(n, 32, cols, func(lo, hi int, acc []float64) {
+			for r := lo; r < hi; r++ {
+				for c := 0; c < cols; c++ {
+					acc[c] += data[r*cols+c]
+				}
+			}
+		}, func(acc []float64) {
+			for c, v := range acc {
+				got[c] += v
+			}
+		})
+		for c := range want {
+			d := got[c] - want[c]
+			if d < -1e-9 || d > 1e-9 {
+				t.Fatalf("col %d: got %v want %v", c, got[c], want[c])
+			}
+		}
+	})
+}
+
+// TestReduceEmpty asserts n<=0 invokes neither body nor merge.
+func TestReduceEmpty(t *testing.T) {
+	Reduce(0, 8, 4,
+		func(lo, hi int, acc []float64) { t.Fatal("body called") },
+		func(acc []float64) { t.Fatal("merge called") })
+}
+
+// TestReduceAccumulatorZeroed asserts every chunk sees a zeroed
+// accumulator even when buffers are recycled across calls.
+func TestReduceAccumulatorZeroed(t *testing.T) {
+	withThreads(t, 4, func() {
+		for iter := 0; iter < 10; iter++ {
+			Reduce(512, 16, 8, func(lo, hi int, acc []float64) {
+				for _, v := range acc {
+					if v != 0 {
+						t.Errorf("dirty accumulator: %v", acc)
+						return
+					}
+				}
+				acc[0] = 1e30 // poison for the next reuse
+			}, func(acc []float64) {})
+		}
+	})
+}
+
+// TestSetThreads covers the knob semantics: <=0 resets to GOMAXPROCS.
+func TestSetThreads(t *testing.T) {
+	defer Configure(0, true)
+	SetThreads(5)
+	if got := Threads(); got != 5 {
+		t.Fatalf("Threads() = %d, want 5", got)
+	}
+	SetThreads(0)
+	if got, want := Threads(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Threads() = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetDeterministic(false)
+	if Deterministic() {
+		t.Fatal("Deterministic() after SetDeterministic(false)")
+	}
+	SetDeterministic(true)
+	if !Deterministic() {
+		t.Fatal("!Deterministic() after SetDeterministic(true)")
+	}
+}
+
+// TestConcurrentCallers mimics the SPMD runtime: several rank goroutines
+// issuing parallel regions against the shared pool simultaneously. Run
+// under -race this also proves pool-level data-race cleanliness.
+func TestConcurrentCallers(t *testing.T) {
+	withThreads(t, 4, func() {
+		const ranks, n = 8, 4096
+		var wg sync.WaitGroup
+		results := make([]float64, ranks)
+		for r := 0; r < ranks; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				out := make([]float64, n)
+				For(n, 64, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						out[i] = float64(i + r)
+					}
+				})
+				var total float64
+				Reduce(n, 64, 1, func(lo, hi int, acc []float64) {
+					for i := lo; i < hi; i++ {
+						acc[0] += out[i]
+					}
+				}, func(acc []float64) { total += acc[0] })
+				results[r] = total
+			}(r)
+		}
+		wg.Wait()
+		base := float64(n) * float64(n-1) / 2
+		for r, got := range results {
+			if want := base + float64(r*n); got != want {
+				t.Fatalf("rank %d: %v want %v", r, got, want)
+			}
+		}
+	})
+}
+
+// TestNonDeterministicModeStillCorrect verifies the relaxed mode computes
+// the same value up to roundoff (it only regroups the summation).
+func TestNonDeterministicModeStillCorrect(t *testing.T) {
+	defer Configure(0, true)
+	rng := rand.New(rand.NewSource(11))
+	const n = 5000
+	data := make([]float64, n)
+	var want float64
+	for i := range data {
+		data[i] = rng.NormFloat64()
+		want += data[i]
+	}
+	Configure(4, false)
+	var got float64
+	Reduce(n, 8, 1, func(lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			acc[0] += data[i]
+		}
+	}, func(acc []float64) { got += acc[0] })
+	d := got - want
+	if d < -1e-9 || d > 1e-9 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}

@@ -3,76 +3,132 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"meshgnn/internal/parallel"
 )
 
+// Kernel parallelization. Every kernel below runs on the intra-rank worker
+// pool (internal/parallel). Kernels whose iterations write disjoint output
+// rows or elements (the GEMMs over output rows, gathers, element-wise
+// maps) use parallel.For and are bitwise-identical to their serial forms
+// for any thread count. Kernels that reduce many input rows into one
+// output (MatMulATB, ColSums) use parallel.Reduce, whose fixed chunk
+// schedule and in-order partial merge keep them bitwise-reproducible
+// across thread counts in deterministic mode.
+
+// forGrain returns a For grain targeting ~16k flops per chunk so chunk
+// dispatch overhead stays negligible for narrow rows.
+func forGrain(workPerItem int) int {
+	if workPerItem < 1 {
+		workPerItem = 1
+	}
+	g := 16384 / workPerItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// reduceGrain returns a Reduce grain from the problem shape only (never
+// the thread count), as the deterministic schedule requires: ~256k flops
+// per partial, at least 64 rows.
+func reduceGrain(workPerItem int) int {
+	if workPerItem < 1 {
+		workPerItem = 1
+	}
+	g := 262144 / workPerItem
+	if g < 64 {
+		g = 64
+	}
+	return g
+}
+
 // MatMul computes dst = a·b. dst must be a.Rows×b.Cols and must not alias
-// a or b. The inner loops are ordered (i,k,j) so the b and dst accesses are
-// unit-stride, which is the cache-friendly form for row-major storage.
+// a or b. The inner loops are ordered (i,k,j) so the b and dst accesses
+// are unit-stride, which is the cache-friendly form for row-major storage;
+// the outer loop is partitioned over dst rows, each written by exactly one
+// worker.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*n : (i+1)*n]
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	parallel.For(a.Rows, forGrain(a.Cols*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			drow := dst.Data[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
-// MatMulATB computes dst = aᵀ·b, used for weight gradients
-// (dW = xᵀ·dy). dst must be a.Cols×b.Cols.
+// MatMulATB computes dst = aᵀ·b, used for weight gradients (dW = xᵀ·dy).
+// dst must be a.Cols×b.Cols. Every input row contributes to every output
+// row, so this is a true reduction: row chunks accumulate into private
+// dst-shaped partials that merge in fixed chunk order.
 func MatMulATB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	dst.Zero()
-	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
-		brow := b.Data[r*n : (r+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
+	in, n := a.Cols, b.Cols
+	parallel.Reduce(a.Rows, reduceGrain(in*n), in*n,
+		func(lo, hi int, acc []float64) {
+			for r := lo; r < hi; r++ {
+				arow := a.Data[r*in : (r+1)*in]
+				brow := b.Data[r*n : (r+1)*n]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					accRow := acc[i*n : (i+1)*n]
+					for j, bv := range brow {
+						accRow[j] += av * bv
+					}
+				}
 			}
-			drow := dst.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+		},
+		func(acc []float64) {
+			for i, v := range acc {
+				dst.Data[i] += v
 			}
-		}
-	}
+		})
 }
 
-// MatMulABT computes dst = a·bᵀ, used for input gradients
-// (dx = dy·Wᵀ). dst must be a.Rows×b.Rows.
+// MatMulABT computes dst = a·bᵀ, used for input gradients (dx = dy·Wᵀ).
+// dst must be a.Rows×b.Rows. Partitioned over dst rows.
 func MatMulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	parallel.For(a.Rows, forGrain(a.Cols*b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
 			}
-			drow[j] = s
 		}
-	}
+	})
 }
 
 // AddRowVector adds the length-Cols vector v to every row of m in place.
@@ -80,27 +136,42 @@ func AddRowVector(m *Matrix, v []float64) {
 	if len(v) != m.Cols {
 		panic("tensor: AddRowVector length mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, bv := range v {
-			row[j] += bv
+	parallel.For(m.Rows, forGrain(m.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j, bv := range v {
+				row[j] += bv
+			}
 		}
-	}
+	})
 }
 
 // ColSums accumulates the column sums of m into dst (dst += sum over rows),
-// used for bias gradients.
+// used for bias gradients. A reduction over rows: chunk partials merge in
+// fixed order.
 func ColSums(dst []float64, m *Matrix) {
 	if len(dst) != m.Cols {
 		panic("tensor: ColSums length mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			dst[j] += v
-		}
-	}
+	cols := m.Cols
+	parallel.Reduce(m.Rows, reduceGrain(cols), cols,
+		func(lo, hi int, acc []float64) {
+			for i := lo; i < hi; i++ {
+				row := m.Data[i*cols : (i+1)*cols]
+				for j, v := range row {
+					acc[j] += v
+				}
+			}
+		},
+		func(acc []float64) {
+			for j, v := range acc {
+				dst[j] += v
+			}
+		})
 }
+
+// elemGrain is the For grain for 1-flop element-wise kernels.
+const elemGrain = 8192
 
 // Add computes dst = a + b element-wise; all three must share a shape.
 // dst may alias a or b.
@@ -108,9 +179,11 @@ func Add(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
 		panic("tensor: Add shape mismatch")
 	}
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] + b.Data[i]
-	}
+	parallel.For(len(dst.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
 }
 
 // AddScaled computes dst += alpha*src element-wise.
@@ -118,34 +191,56 @@ func AddScaled(dst *Matrix, alpha float64, src *Matrix) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("tensor: AddScaled shape mismatch")
 	}
-	for i, v := range src.Data {
-		dst.Data[i] += alpha * v
-	}
+	parallel.For(len(dst.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] += alpha * src.Data[i]
+		}
+	})
 }
 
 // Scale multiplies every entry of m by alpha in place.
 func Scale(m *Matrix, alpha float64) {
-	for i := range m.Data {
-		m.Data[i] *= alpha
-	}
+	parallel.For(len(m.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Data[i] *= alpha
+		}
+	})
 }
 
 // GatherRows copies rows src[idx[k]] into dst[k] for each k.
-// dst must have len(idx) rows and src.Cols columns.
+// dst must have len(idx) rows and src.Cols columns. Indices are validated
+// up front so a bad index fails with a diagnosable error instead of a
+// slice panic inside a worker.
 func GatherRows(dst, src *Matrix, idx []int) {
 	if dst.Rows != len(idx) || dst.Cols != src.Cols {
 		panic("tensor: GatherRows shape mismatch")
 	}
 	for k, i := range idx {
-		copy(dst.Row(k), src.Row(i))
+		if i < 0 || i >= src.Rows {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of range [0,%d) at position %d",
+				i, src.Rows, k))
+		}
 	}
+	parallel.For(len(idx), forGrain(src.Cols), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			copy(dst.Row(k), src.Row(idx[k]))
+		}
+	})
 }
 
 // ScatterAddRows adds src[k] into dst[idx[k]] for each k: the adjoint of
-// GatherRows.
+// GatherRows. Arbitrary idx values may collide on a destination row, so
+// this general form runs serially in k order; receiver-grouped workloads
+// should use ScatterAddRowsGrouped, which parallelizes without atomics.
 func ScatterAddRows(dst, src *Matrix, idx []int) {
 	if src.Rows != len(idx) || dst.Cols != src.Cols {
 		panic("tensor: ScatterAddRows shape mismatch")
+	}
+	for k, i := range idx {
+		if i < 0 || i >= dst.Rows {
+			panic(fmt.Sprintf("tensor: ScatterAddRows index %d out of range [0,%d) at position %d",
+				i, dst.Rows, k))
+		}
 	}
 	for k, i := range idx {
 		drow := dst.Row(i)
@@ -154,6 +249,58 @@ func ScatterAddRows(dst, src *Matrix, idx []int) {
 			drow[j] += v
 		}
 	}
+}
+
+// ScatterAddRowsGrouped adds src rows into dst following a receiver-grouped
+// CSR layout: for destination row i, the source rows order[start[i]:start[i+1]]
+// accumulate into dst[i] in listed order. order == nil means the identity
+// (source rows start[i]..start[i+1] are already receiver-contiguous).
+//
+// Because each destination row is owned by exactly one worker, the scatter
+// parallelizes without atomics, and because each row's contributions apply
+// in listed order, the result is bitwise-identical to the equivalent
+// serial ScatterAddRows whenever order lists source rows in ascending
+// order per receiver.
+func ScatterAddRowsGrouped(dst, src *Matrix, start, order []int) {
+	if len(start) != dst.Rows+1 {
+		panic(fmt.Sprintf("tensor: ScatterAddRowsGrouped start length %d, want %d",
+			len(start), dst.Rows+1))
+	}
+	limit := src.Rows
+	if order != nil {
+		limit = len(order)
+		for p, k := range order {
+			if k < 0 || k >= src.Rows {
+				panic(fmt.Sprintf("tensor: ScatterAddRowsGrouped order index %d out of range [0,%d) at position %d",
+					k, src.Rows, p))
+			}
+		}
+	}
+	if start[0] < 0 || start[dst.Rows] > limit {
+		panic(fmt.Sprintf("tensor: ScatterAddRowsGrouped start range [%d,%d] outside %d source entries",
+			start[0], start[dst.Rows], limit))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		if start[i] > start[i+1] {
+			panic(fmt.Sprintf("tensor: ScatterAddRowsGrouped start not monotonic at row %d (%d > %d)",
+				i, start[i], start[i+1]))
+		}
+	}
+	parallel.For(dst.Rows, forGrain(2*dst.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			for p := start[i]; p < start[i+1]; p++ {
+				k := p
+				if order != nil {
+					k = order[p]
+				}
+				srow := src.Row(k)
+				for j, v := range srow {
+					drow[j] += v
+				}
+			}
+		}
+	})
 }
 
 // HCat concatenates the given matrices horizontally (all must share Rows).
@@ -170,14 +317,16 @@ func HCat(ms ...*Matrix) *Matrix {
 		cols += m.Cols
 	}
 	out := New(rows, cols)
-	for i := 0; i < rows; i++ {
-		drow := out.Row(i)
-		off := 0
-		for _, m := range ms {
-			copy(drow[off:off+m.Cols], m.Row(i))
-			off += m.Cols
+	parallel.For(rows, forGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := out.Row(i)
+			off := 0
+			for _, m := range ms {
+				copy(drow[off:off+m.Cols], m.Row(i))
+				off += m.Cols
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -195,23 +344,30 @@ func SplitCols(m *Matrix, widths ...int) []*Matrix {
 	for k, w := range widths {
 		out[k] = New(m.Rows, w)
 	}
-	for i := 0; i < m.Rows; i++ {
-		srow := m.Row(i)
-		off := 0
-		for k, w := range widths {
-			copy(out[k].Row(i), srow[off:off+w])
-			off += w
+	parallel.For(m.Rows, forGrain(m.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			srow := m.Row(i)
+			off := 0
+			for k, w := range widths {
+				copy(out[k].Row(i), srow[off:off+w])
+				off += w
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Frobenius returns the Frobenius norm of m.
 func Frobenius(m *Matrix) float64 {
 	var s float64
-	for _, v := range m.Data {
-		s += v * v
-	}
+	parallel.Reduce(len(m.Data), reduceGrain(2), 1,
+		func(lo, hi int, acc []float64) {
+			for i := lo; i < hi; i++ {
+				v := m.Data[i]
+				acc[0] += v * v
+			}
+		},
+		func(acc []float64) { s += acc[0] })
 	return math.Sqrt(s)
 }
 
@@ -221,8 +377,12 @@ func Dot(a, b *Matrix) float64 {
 		panic("tensor: Dot shape mismatch")
 	}
 	var s float64
-	for i, v := range a.Data {
-		s += v * b.Data[i]
-	}
+	parallel.Reduce(len(a.Data), reduceGrain(2), 1,
+		func(lo, hi int, acc []float64) {
+			for i := lo; i < hi; i++ {
+				acc[0] += a.Data[i] * b.Data[i]
+			}
+		},
+		func(acc []float64) { s += acc[0] })
 	return s
 }

@@ -45,6 +45,7 @@ import (
 	"meshgnn/internal/graph"
 	"meshgnn/internal/mesh"
 	"meshgnn/internal/nn"
+	"meshgnn/internal/parallel"
 	"meshgnn/internal/partition"
 	"meshgnn/internal/solver"
 	"meshgnn/internal/tensor"
@@ -194,6 +195,24 @@ var (
 	// Evaluate computes consistent error metrics collectively.
 	Evaluate = gnn.Evaluate
 )
+
+// SetParallelism configures the process-wide intra-rank compute engine:
+// threads bounds the workers each kernel may use (<= 0 resets to
+// GOMAXPROCS; 1 runs every kernel inline), and deterministic selects the
+// fixed-schedule reductions that make results bitwise-identical for any
+// thread count. Intra-rank workers compose with goroutine ranks: the
+// pool workers are shared, so R ranks running kernels concurrently add
+// at most threads-1 pool goroutines on top of the R rank goroutines
+// (each rank also executes chunks itself), rather than R×threads.
+func SetParallelism(threads int, deterministic bool) {
+	parallel.Configure(threads, deterministic)
+}
+
+// Parallelism reports the engine's current (threads, deterministic)
+// setting.
+func Parallelism() (threads int, deterministic bool) {
+	return parallel.Threads(), parallel.Deterministic()
+}
 
 // NewMesh constructs a spectral-element box mesh with ex×ey×ez hexahedral
 // elements of polynomial order p; periodic axes wrap their coincident
