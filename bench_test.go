@@ -24,6 +24,7 @@ import (
 // model configurations and verifies the trainable-parameter counts match
 // the published 3,979 / 91,459.
 func BenchmarkTable1_ModelConfigs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Table1()
 		if rows[0].Parameters != 3979 || rows[1].Parameters != 91459 {
@@ -62,6 +63,7 @@ func BenchmarkFig6Left_ConsistencyInference(b *testing.B) {
 // slice of the training curves for the R=1 target and the R=8 standard /
 // consistent runs.
 func BenchmarkFig6Right_ConsistencyTraining(b *testing.B) {
+	b.ReportAllocs()
 	cfg := gnn.SmallConfig()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig6Right(4, 1, 8, 5, cfg, 1e-3)
@@ -118,6 +120,7 @@ func BenchmarkFig7_WeakScalingProjection(b *testing.B) {
 // goroutine-rank training iterations with wall-clock timing and exact
 // message counts across exchange modes.
 func BenchmarkFig7_WeakScalingMeasured(b *testing.B) {
+	b.ReportAllocs()
 	cfg := gnn.SmallConfig()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.Fig7Measured(3, 2, []int{2, 4, 8}, cfg,
@@ -136,6 +139,7 @@ func BenchmarkFig7_WeakScalingMeasured(b *testing.B) {
 // asserting the paper's headline ordering (N-A2A marginal, A2A
 // impractical at scale).
 func BenchmarkFig8_RelativeThroughput(b *testing.B) {
+	b.ReportAllocs()
 	m := perfmodel.Frontier()
 	rs := []int{8, 64, 512, 2048}
 	for i := 0; i < b.N; i++ {
@@ -182,6 +186,7 @@ func threadLabel(n int) string {
 // shape: 49k edge rows through a 96→32 linear layer (the EdgeMLP input
 // layer of an 8³-element p=3 sub-graph).
 func BenchmarkParallel_MatMul(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	const rows, in, out = 49152, 96, 32
 	a := tensor.New(rows, in)
@@ -195,6 +200,7 @@ func BenchmarkParallel_MatMul(b *testing.B) {
 	dst := tensor.New(rows, out)
 	for _, threads := range benchThreads {
 		b.Run(threadLabel(threads), func(b *testing.B) {
+			b.ReportAllocs()
 			parallel.Configure(threads, true)
 			defer parallel.Configure(0, true)
 			b.SetBytes(int64(8 * rows * in))
@@ -209,6 +215,7 @@ func BenchmarkParallel_MatMul(b *testing.B) {
 // BenchmarkParallel_MatMulATB times the weight-gradient GEMM (dW = xᵀ·dy),
 // the deterministic chunked reduction, at the same shape.
 func BenchmarkParallel_MatMulATB(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(2))
 	const rows, in, out = 49152, 96, 32
 	x := tensor.New(rows, in)
@@ -222,6 +229,7 @@ func BenchmarkParallel_MatMulATB(b *testing.B) {
 	dw := tensor.New(in, out)
 	for _, threads := range benchThreads {
 		b.Run(threadLabel(threads), func(b *testing.B) {
+			b.ReportAllocs()
 			parallel.Configure(threads, true)
 			defer parallel.Configure(0, true)
 			b.ResetTimer()
@@ -238,6 +246,7 @@ func BenchmarkParallel_MatMulATB(b *testing.B) {
 // the large model's hidden width — the per-layer unit of the paper's
 // training step.
 func BenchmarkParallel_NMPLayer(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewMesh(8, 8, 8, 3, FullyPeriodic)
 	if err != nil {
 		b.Fatal(err)
@@ -249,6 +258,7 @@ func BenchmarkParallel_NMPLayer(b *testing.B) {
 	const hidden = 32
 	for _, threads := range benchThreads {
 		b.Run(threadLabel(threads), func(b *testing.B) {
+			b.ReportAllocs()
 			parallel.Configure(threads, true)
 			defer parallel.Configure(0, true)
 			err := sys.Run(NoExchange, func(r *Rank) error {
@@ -262,14 +272,17 @@ func BenchmarkParallel_NMPLayer(b *testing.B) {
 				for i := range e.Data {
 					e.Data[i] = rng.NormFloat64()
 				}
-				dx := tensor.New(r.Graph.NumLocal(), hidden)
-				de := tensor.New(r.Graph.NumEdges(), hidden)
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
+				arena := tensor.NewArena()
+				layer.SetArena(arena)
+				step := func() {
+					arena.Reset()
 					xo, eo := layer.Forward(r.Ctx, x, e)
 					_, _ = layer.Backward(xo, eo)
-					_ = dx
-					_ = de
+				}
+				step() // warm-up: record the workspace arena
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					step()
 				}
 				return nil
 			})
@@ -286,6 +299,7 @@ func BenchmarkParallel_NMPLayer(b *testing.B) {
 // throughput quantity of the paper's Fig. 7, now as a function of
 // intra-rank threads.
 func BenchmarkParallel_TrainStep(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewMesh(6, 6, 6, 3, FullyPeriodic)
 	if err != nil {
 		b.Fatal(err)
@@ -296,6 +310,7 @@ func BenchmarkParallel_TrainStep(b *testing.B) {
 	}
 	for _, threads := range benchThreads {
 		b.Run(threadLabel(threads), func(b *testing.B) {
+			b.ReportAllocs()
 			parallel.Configure(threads, true)
 			defer parallel.Configure(0, true)
 			err := sys.Run(NoExchange, func(r *Rank) error {
@@ -305,6 +320,7 @@ func BenchmarkParallel_TrainStep(b *testing.B) {
 				}
 				trainer := NewTrainer(model, NewSGD(0.01))
 				x := r.Sample(TaylorGreen{V0: 1, L: 1, Nu: 0.01}, 0)
+				trainer.Step(r.Ctx, x, x) // warm-up: record the arena
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					trainer.Step(r.Ctx, x, x)
@@ -324,8 +340,10 @@ func BenchmarkParallel_TrainStep(b *testing.B) {
 // iteration under each halo exchange implementation at R=8, isolating the
 // per-mode communication cost on real sub-graphs.
 func BenchmarkAblation_ExchangeModes(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []ExchangeMode{NoExchange, AllToAll, NeighborAllToAll, SendRecv} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			m, err := NewMesh(8, 4, 4, 2, FullyPeriodic)
 			if err != nil {
 				b.Fatal(err)
@@ -358,12 +376,14 @@ func BenchmarkAblation_ExchangeModes(b *testing.B) {
 // aggregation against the unscaled variant (which double-counts shared
 // edges): the scaling costs one multiply per edge and buys consistency.
 func BenchmarkAblation_DegreeScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, scaled := range []bool{true, false} {
 		name := "scaled"
 		if !scaled {
 			name = "unscaled"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			m, err := NewMesh(6, 6, 6, 2, NonPeriodic)
 			if err != nil {
 				b.Fatal(err)
@@ -398,8 +418,10 @@ func BenchmarkAblation_DegreeScaling(b *testing.B) {
 // small and large Table I configurations on the same sub-graph, the
 // compute side of the paper's model-size comparison.
 func BenchmarkAblation_ModelSize(b *testing.B) {
+	b.ReportAllocs()
 	for _, cfg := range []Config{SmallConfig(), LargeConfig()} {
 		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			m, err := NewMesh(4, 4, 4, 3, FullyPeriodic)
 			if err != nil {
 				b.Fatal(err)
@@ -433,12 +455,14 @@ func BenchmarkAblation_ModelSize(b *testing.B) {
 // plain NMP processor at equal hidden width on the same distributed
 // graph — the cost of the paper's Sec. II-B generalization.
 func BenchmarkAblation_AttentionVsNMP(b *testing.B) {
+	b.ReportAllocs()
 	for _, attention := range []bool{false, true} {
 		name := "nmp"
 		if attention {
 			name = "attention"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			m, err := NewMesh(6, 6, 3, 2, FullyPeriodic)
 			if err != nil {
 				b.Fatal(err)
@@ -472,6 +496,7 @@ func BenchmarkAblation_AttentionVsNMP(b *testing.B) {
 // BenchmarkExtension_StrongScaling regenerates the strong-scaling
 // extension sweep (fixed global mesh, growing R).
 func BenchmarkExtension_StrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	m := perfmodel.Frontier()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.StrongScaling(m, 5, 64, []int{8, 64, 512}, gnn.LargeConfig(),
@@ -488,6 +513,7 @@ func BenchmarkExtension_StrongScaling(b *testing.B) {
 // BenchmarkExtension_ReducedGraph regenerates the coincident-collapse
 // ablation rows (paper Fig. 3(b) vs 3(c)).
 func BenchmarkExtension_ReducedGraph(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.ReducedGraphAblation(5, 16, []int{8, 64, 512, 2048})
 		if err != nil {

@@ -1,0 +1,378 @@
+// Command bench runs the library's hot-path benchmarks — the forward GEMM,
+// a full consistent NMP layer step, and the end-to-end training step —
+// across a thread sweep, verifies the zero-allocation steady-state
+// contract of the tensor/nn/gnn kernels, and writes a machine-readable
+// JSON report (BENCH_PR2.json by default) so the performance trajectory is
+// tracked from PR 2 onward.
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # full shapes, BENCH_PR2.json
+//	go run ./cmd/bench -quick          # CI-sized shapes, 1 iteration
+//	go run ./cmd/bench -baseline <ns>  # also report speedup vs a recorded
+//	                                   # pre-PR train-step ns/op
+//
+// The process exits non-zero if any hot kernel allocates in steady state,
+// making it usable as a CI regression gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"meshgnn"
+	"meshgnn/internal/gnn"
+	"meshgnn/internal/nn"
+	"meshgnn/internal/parallel"
+	"meshgnn/internal/tensor"
+)
+
+// BenchResult is one (benchmark, thread-count) measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Threads     int     `json:"threads"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the schema of BENCH_PR2.json.
+type Report struct {
+	GeneratedBy string `json:"generated_by"`
+	Quick       bool   `json:"quick"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	NumCPU      int    `json:"num_cpu"`
+
+	// Benches holds ns/step, allocs/step, and bytes/step per kernel and
+	// thread count.
+	Benches []BenchResult `json:"benches"`
+
+	// SteadyStateAllocs maps each hot kernel to its AllocsPerRun count
+	// after warm-up (threads=1). The zero-allocation contract requires
+	// every entry to be 0.
+	SteadyStateAllocs map[string]float64 `json:"steady_state_allocs"`
+
+	// BaselineTrainStepNs is the recorded pre-optimization train-step
+	// ns/op this run is compared against (0 when not provided);
+	// TrainStepSpeedup is baseline / best measured train-step ns/op.
+	BaselineTrainStepNs float64 `json:"baseline_train_step_ns_per_op,omitempty"`
+	TrainStepSpeedup    float64 `json:"train_step_speedup,omitempty"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-sized shapes and a single timed iteration per benchmark")
+	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
+	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
+	baseline := flag.Float64("baseline", 0, "pre-optimization train-step ns/op to compute the speedup against")
+	flag.Parse()
+
+	threads, err := parseThreads(*threadList)
+	if err != nil {
+		fatal(err)
+	}
+
+	// testing.Benchmark honors the -test.benchtime flag; register the
+	// testing flags so it can be set programmatically.
+	testing.Init()
+	benchtime := "2x"
+	if *quick {
+		benchtime = "1x"
+	}
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime); err != nil {
+		fatal(err)
+	}
+
+	rep := &Report{
+		GeneratedBy:       "cmd/bench",
+		Quick:             *quick,
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		SteadyStateAllocs: map[string]float64{},
+	}
+
+	fmt.Printf("bench: quick=%v threads=%v benchtime=%s\n", *quick, threads, benchtime)
+	for _, t := range threads {
+		runSweep(rep, *quick, t)
+	}
+	meshgnn.SetParallelism(0, true)
+
+	checkSteadyStateAllocs(rep, *quick)
+
+	if *baseline > 0 {
+		rep.BaselineTrainStepNs = *baseline
+		best := 0.0
+		for _, b := range rep.Benches {
+			if b.Name == "train_step" && (best == 0 || b.NsPerOp < best) {
+				best = b.NsPerOp
+			}
+		}
+		if best > 0 {
+			rep.TrainStepSpeedup = *baseline / best
+			fmt.Printf("bench: train-step speedup vs baseline: %.2fx\n", rep.TrainStepSpeedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench: wrote %s\n", *out)
+
+	bad := false
+	for name, n := range rep.SteadyStateAllocs {
+		if n != 0 {
+			fmt.Fprintf(os.Stderr, "bench: FAIL %s allocates %v times per op in steady state\n", name, n)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("bench: steady-state allocation check passed (0 allocs/op in all hot kernels)")
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// record runs one benchmark body under testing.Benchmark and appends the
+// measurement.
+func record(rep *Report, name string, threads int, f func(b *testing.B)) {
+	r := testing.Benchmark(f)
+	res := BenchResult{
+		Name:        name,
+		Threads:     threads,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	rep.Benches = append(rep.Benches, res)
+	fmt.Printf("  %-12s threads=%d  %14.0f ns/op  %8d B/op  %6d allocs/op\n",
+		name, threads, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+}
+
+// runSweep measures the three tracked benchmarks at one thread count.
+func runSweep(rep *Report, quick bool, threads int) {
+	meshgnn.SetParallelism(threads, true)
+
+	// Forward GEMM at the large-model edge shape (quick: a quarter-height
+	// slice of the same shape).
+	rows := 49152
+	if quick {
+		rows = 12288
+	}
+	const in, out = 96, 32
+	record(rep, "mat_mul", threads, func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		a := tensor.New(rows, in)
+		w := tensor.New(in, out)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range w.Data {
+			w.Data[i] = rng.NormFloat64()
+		}
+		dst := tensor.New(rows, out)
+		tensor.MatMul(dst, a, w) // warm-up: populate kernel task pools
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(dst, a, w)
+		}
+	})
+
+	// One consistent NMP layer forward+backward on a real sub-graph at
+	// the large model's hidden width.
+	ex, ey, ez, p := 8, 8, 8, 3
+	if quick {
+		ex, ey, ez, p = 4, 4, 4, 2
+	}
+	record(rep, "nmp_layer", threads, func(b *testing.B) {
+		withSingleRank(b, ex, ey, ez, p, func(b *testing.B, r *meshgnn.Rank) {
+			const hidden = 32
+			rng := rand.New(rand.NewSource(3))
+			layer := gnn.NewNMPLayer("bench", hidden, 2, rng)
+			arena := tensor.NewArena()
+			layer.SetArena(arena)
+			params := layer.Params()
+			x := tensor.New(r.Graph.NumLocal(), hidden)
+			e := tensor.New(r.Graph.NumEdges(), hidden)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+			}
+			for i := range e.Data {
+				e.Data[i] = rng.NormFloat64()
+			}
+			step := func() {
+				arena.Reset()
+				nn.ZeroGrads(params)
+				xo, eo := layer.Forward(r.Ctx, x, e)
+				layer.Backward(xo, eo)
+			}
+			step() // warm-up: record the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+	})
+
+	// End-to-end training step (encode, M NMP layers, decode, consistent
+	// loss, backward, AllReduce, SGD) for the large model at R=1 — the
+	// throughput quantity of the paper's Fig. 7.
+	ex, ey, ez, p = 6, 6, 6, 3
+	if quick {
+		ex, ey, ez, p = 3, 3, 3, 2
+	}
+	record(rep, "train_step", threads, func(b *testing.B) {
+		withSingleRank(b, ex, ey, ez, p, func(b *testing.B, r *meshgnn.Rank) {
+			model, err := meshgnn.NewModel(meshgnn.LargeConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			trainer := meshgnn.NewTrainer(model, meshgnn.NewSGD(0.01))
+			x := r.Sample(meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}, 0)
+			trainer.Step(r.Ctx, x, x) // warm-up: record the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trainer.Step(r.Ctx, x, x)
+			}
+		})
+	})
+}
+
+// withSingleRank builds a single-rank periodic system and runs fn inside
+// its SPMD closure.
+func withSingleRank(b *testing.B, ex, ey, ez, p int, fn func(b *testing.B, r *meshgnn.Rank)) {
+	m, err := meshgnn.NewMesh(ex, ey, ez, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, 1, meshgnn.Slabs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = sys.Run(meshgnn.NoExchange, func(r *meshgnn.Rank) error {
+		fn(b, r)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// checkSteadyStateAllocs measures AllocsPerRun for the hot kernels after
+// warm-up, at threads=1 (which isolates kernel-owned allocations from the
+// pooled-but-GC-sensitive parallel dispatch).
+func checkSteadyStateAllocs(rep *Report, quick bool) {
+	parallel.Configure(1, true)
+	defer parallel.Configure(0, true)
+
+	// MatMul.
+	{
+		a := tensor.New(256, 32)
+		w := tensor.New(32, 16)
+		dst := tensor.New(256, 16)
+		tensor.MatMul(dst, a, w)
+		rep.SteadyStateAllocs["mat_mul"] = testing.AllocsPerRun(10, func() {
+			tensor.MatMul(dst, a, w)
+		})
+	}
+
+	// MLP forward+backward on an arena.
+	{
+		rng := rand.New(rand.NewSource(7))
+		m := nn.NewMLP("b", 12, 32, 8, 2, true, rng)
+		arena := tensor.NewArena()
+		m.SetArena(arena)
+		params := m.Params()
+		x := tensor.New(300, 12)
+		dy := tensor.New(300, 8)
+		pass := func() {
+			arena.Reset()
+			nn.ZeroGrads(params)
+			m.Forward(x)
+			m.Backward(dy)
+		}
+		pass()
+		rep.SteadyStateAllocs["mlp_step"] = testing.AllocsPerRun(10, pass)
+	}
+
+	// Full NMP layer step and train step on a real sub-graph.
+	ex, ey, ez, p := 4, 4, 4, 2
+	if quick {
+		ex, ey, ez, p = 3, 3, 3, 2
+	}
+	m, err := meshgnn.NewMesh(ex, ey, ez, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, 1, meshgnn.Slabs)
+	if err != nil {
+		fatal(err)
+	}
+	err = sys.Run(meshgnn.NoExchange, func(r *meshgnn.Rank) error {
+		rng := rand.New(rand.NewSource(11))
+		layer := gnn.NewNMPLayer("b", 16, 2, rng)
+		arena := tensor.NewArena()
+		layer.SetArena(arena)
+		params := layer.Params()
+		x := tensor.New(r.Graph.NumLocal(), 16)
+		e := tensor.New(r.Graph.NumEdges(), 16)
+		step := func() {
+			arena.Reset()
+			nn.ZeroGrads(params)
+			xo, eo := layer.Forward(r.Ctx, x, e)
+			layer.Backward(xo, eo)
+		}
+		step()
+		rep.SteadyStateAllocs["nmp_step"] = testing.AllocsPerRun(5, step)
+
+		model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+		if err != nil {
+			return err
+		}
+		trainer := meshgnn.NewTrainer(model, meshgnn.NewSGD(0.01))
+		xs := r.Sample(meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}, 0)
+		trainer.Step(r.Ctx, xs, xs)
+		trainer.Step(r.Ctx, xs, xs)
+		rep.SteadyStateAllocs["train_step"] = testing.AllocsPerRun(5, func() {
+			trainer.Step(r.Ctx, xs, xs)
+		})
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("bench: steady-state allocs/op:")
+	for _, k := range []string{"mat_mul", "mlp_step", "nmp_step", "train_step"} {
+		fmt.Printf("  %-12s %v\n", k, rep.SteadyStateAllocs[k])
+	}
+}

@@ -119,6 +119,16 @@ type Exchanger struct {
 	// (Send copies payloads, so reuse is safe). Keyed by neighbor
 	// index; resized when the column count changes.
 	packBuf [][]float64
+	// sendTable is the reusable rank-indexed send pointer table for the
+	// AllToAll modes.
+	sendTable [][]float64
+	// uniformBuf holds the padded per-destination payloads of
+	// AllToAllMode. Entries are zero beyond each neighbor's (fixed)
+	// payload length, and non-neighbor entries stay all-zero "dummy"
+	// buffers, so reuse never leaks stale data. Rebuilt when the column
+	// count (and hence the uniform width) changes.
+	uniformBuf   [][]float64
+	uniformWidth int
 }
 
 // NewExchanger validates the plan for the mode. AllToAllMode requires
@@ -224,7 +234,7 @@ func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 		}
 
 	case NeighborAllToAll:
-		send := make([][]float64, c.Size())
+		send := e.sendPointerTable(c.Size())
 		for k, nb := range plan.Neighbors {
 			send[nb] = pack(k)
 		}
@@ -237,14 +247,26 @@ func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 		// Uniform buffers: every pair exchanges MaxSendCount*cols
 		// floats, padding real payloads and sending zero "dummy"
 		// buffers between non-neighbors, as the paper's standard A2A
-		// configuration does.
+		// configuration does. The padded staging buffers persist across
+		// exchanges: each neighbor's payload length is fixed by the
+		// plan, so overwriting the payload prefix leaves the zero
+		// padding intact.
 		width := plan.MaxSendCount * cols
-		send := make([][]float64, c.Size())
-		for dst := 0; dst < c.Size(); dst++ {
-			if dst == c.rank {
-				continue
+		if e.uniformBuf == nil || len(e.uniformBuf) != c.Size() || e.uniformWidth != width {
+			e.uniformBuf = make([][]float64, c.Size())
+			for dst := 0; dst < c.Size(); dst++ {
+				if dst == c.rank {
+					continue
+				}
+				e.uniformBuf[dst] = make([]float64, width)
 			}
-			send[dst] = make([]float64, width)
+			e.uniformWidth = width
+		}
+		send := e.sendPointerTable(c.Size())
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst != c.rank {
+				send[dst] = e.uniformBuf[dst]
+			}
 		}
 		for k, nb := range plan.Neighbors {
 			copy(send[nb], pack(k))
@@ -254,4 +276,14 @@ func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 			unpack(k, recv[nb])
 		}
 	}
+}
+
+// sendPointerTable returns the reusable rank-indexed send table with every
+// entry reset to nil.
+func (e *Exchanger) sendPointerTable(size int) [][]float64 {
+	if len(e.sendTable) != size {
+		e.sendTable = make([][]float64, size)
+	}
+	clear(e.sendTable)
+	return e.sendTable
 }

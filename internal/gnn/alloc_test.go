@@ -1,0 +1,237 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/nn"
+	"meshgnn/internal/parallel"
+	"meshgnn/internal/tensor"
+)
+
+// allocSetup builds a single-rank periodic sub-graph large enough to
+// exercise every kernel path.
+func allocSetup(t *testing.T) (*mesh.Box, *graph.Local) {
+	t.Helper()
+	box, err := mesh.NewBox(3, 3, 3, 2, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := graph.BuildSingle(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return box, l
+}
+
+// TestNMPLayerZeroAllocSteadyState asserts a full NMP layer
+// forward+backward allocates nothing once its arena is recorded.
+func TestNMPLayerZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	parallel.Configure(1, true)
+	defer parallel.Configure(0, true)
+	box, l := allocSetup(t)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		const hidden = 8
+		rng := rand.New(rand.NewSource(3))
+		layer := NewNMPLayer("t", hidden, 1, rng)
+		arena := tensor.NewArena()
+		layer.SetArena(arena)
+		x := tensor.New(l.NumLocal(), hidden)
+		e := tensor.New(l.NumEdges(), hidden)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		for i := range e.Data {
+			e.Data[i] = rng.NormFloat64()
+		}
+		params := layer.Params() // cached, as the trainer does
+		step := func() {
+			arena.Reset()
+			nn.ZeroGrads(params)
+			xo, eo := layer.Forward(rc, x, e)
+			layer.Backward(xo, eo)
+		}
+		step() // record
+		if n := testing.AllocsPerRun(5, step); n != 0 {
+			t.Errorf("NMP layer step allocates %v times in steady state", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainStepZeroAllocSteadyState is the acceptance assertion: after a
+// warm-up step, a full training step (forward, consistent loss, backward,
+// gradient AllReduce, optimizer) performs zero heap allocations in the
+// tensor/nn/gnn hot path at R=1.
+func TestTrainStepZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	parallel.Configure(1, true)
+	defer parallel.Configure(0, true)
+	box, l := allocSetup(t)
+	for _, opt := range []struct {
+		name  string
+		build func() nn.Optimizer
+	}{
+		{"sgd", func() nn.Optimizer { return nn.NewSGD(0.01) }},
+		{"adam", func() nn.Optimizer { return nn.NewAdam(1e-3) }},
+	} {
+		t.Run(opt.name, func(t *testing.T) {
+			err := comm.Run(1, func(c *comm.Comm) error {
+				rc, err := NewRankContext(c, box, l, comm.NoExchange)
+				if err != nil {
+					return err
+				}
+				model, err := NewModel(SmallConfig())
+				if err != nil {
+					return err
+				}
+				tr := NewTrainer(model, opt.build())
+				x := waveField(rc.Graph)
+				// Warm-up: records the arena sequence, sizes gradient
+				// and optimizer buffers, populates kernel task pools.
+				tr.Step(rc, x, x)
+				tr.Step(rc, x, x)
+				if n := testing.AllocsPerRun(5, func() { tr.Step(rc, x, x) }); n != 0 {
+					t.Errorf("train step allocates %v times in steady state", n)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestModelArenaReusedAcrossSteps asserts repeated Forward calls replay
+// the same workspace (stable footprint) and that a shape change re-records
+// instead of panicking.
+func TestModelArenaReusedAcrossSteps(t *testing.T) {
+	box, l := allocSetup(t)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		model, err := NewModel(tinyConfig())
+		if err != nil {
+			return err
+		}
+		x := waveField(rc.Graph)
+		model.Forward(rc, x)
+		foot := model.WorkspaceFootprint()
+		if foot == 0 {
+			t.Error("arena not in use")
+		}
+		for i := 0; i < 3; i++ {
+			model.Forward(rc, x)
+		}
+		if got := model.WorkspaceFootprint(); got != foot {
+			t.Errorf("footprint grew across identical steps: %d -> %d", foot, got)
+		}
+
+		// A different sub-graph re-records the arena transparently.
+		box2, err := mesh.NewBox(2, 2, 2, 2, [3]bool{})
+		if err != nil {
+			return err
+		}
+		l2, err := graph.BuildSingle(box2)
+		if err != nil {
+			return err
+		}
+		rc2, err := NewRankContext(c, box2, l2, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		model.Forward(rc2, waveField(rc2.Graph))
+		model.Forward(rc, x) // and back again
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForwardOutputStableUntilNextForward pins the output-buffer contract:
+// the returned prediction is a model-owned copy, unchanged by backward
+// passes, and recomputing with the same input reproduces it bitwise.
+func TestForwardOutputStableUntilNextForward(t *testing.T) {
+	box, l := allocSetup(t)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		model, err := NewModel(tinyConfig())
+		if err != nil {
+			return err
+		}
+		x := waveField(rc.Graph)
+		y1 := model.Forward(rc, x).Clone()
+		y2 := model.Forward(rc, x)
+		if !y1.Equal(y2) {
+			t.Error("repeated forward with identical input is not bitwise stable")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPushforwardStepMatchesClonedInput guards the double-buffered output
+// contract: feeding the model's own prediction back in as the input and
+// target of a full training step must behave exactly as if the caller had
+// cloned it first (the returned buffer survives one subsequent Forward).
+func TestPushforwardStepMatchesClonedInput(t *testing.T) {
+	box, l := allocSetup(t)
+	err := comm.Run(1, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, l, comm.NoExchange)
+		if err != nil {
+			return err
+		}
+		run := func(clone bool) ([]float64, float64) {
+			model, err := NewModel(tinyConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := NewTrainer(model, nn.NewSGD(0.01))
+			y := model.Forward(rc, waveField(rc.Graph))
+			if clone {
+				y = y.Clone()
+			}
+			loss := tr.Step(rc, y, y) // pushforward: prediction as input and target
+			flat := nn.FlattenGrads(model.Params(), nil)
+			return flat, loss
+		}
+		gradsAliased, lossAliased := run(false)
+		gradsCloned, lossCloned := run(true)
+		if lossAliased != lossCloned {
+			t.Errorf("pushforward loss %v differs from cloned-input loss %v", lossAliased, lossCloned)
+		}
+		for i := range gradsCloned {
+			if gradsAliased[i] != gradsCloned[i] {
+				t.Fatalf("pushforward gradient %d differs: %v vs %v", i, gradsAliased[i], gradsCloned[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,9 @@ type RankContext struct {
 	// Neff is the effective global node count Σ 1/d_i reduced over all
 	// ranks (paper Eq. 6c); computed once at setup.
 	Neff float64
+
+	// eiTask is the reusable bound task for the edge-input assembly.
+	eiTask edgeInputsTask
 }
 
 // NewRankContext wires a rank's context: it finalizes the halo plan
@@ -52,28 +55,53 @@ func NewRankContext(c *comm.Comm, box *mesh.Box, l *graph.Local, mode comm.Excha
 	}, nil
 }
 
+// edgeInputsTask assembles the 7-column edge attributes; bound to the
+// rank context and reused so the per-step assembly allocates nothing.
+type edgeInputsTask struct {
+	rc     *RankContext
+	x, out *tensor.Matrix
+}
+
+func (t *edgeInputsTask) Run(lo, hi int) {
+	for k := lo; k < hi; k++ {
+		e := t.rc.Graph.Edges[k]
+		row := t.out.Row(k)
+		xs, xd := t.x.Row(e[0]), t.x.Row(e[1])
+		for j := 0; j < 3 && j < len(xs); j++ {
+			row[j] = xd[j] - xs[j]
+		}
+		copy(row[3:], t.rc.StaticEdge.Row(k))
+	}
+}
+
 // EdgeInputs assembles the raw edge-attribute matrix for the given input
 // node features under the configured mode. For EdgeFeatures7 the first
 // three columns are the relative input node features x_dst - x_src (the
 // paper's "relative node features"); the remaining four are the static
 // geometry columns.
 func (rc *RankContext) EdgeInputs(mode EdgeFeatureMode, x *tensor.Matrix) *tensor.Matrix {
+	return rc.EdgeInputsInto(mode, x, nil)
+}
+
+// EdgeInputsInto is EdgeInputs drawing the 7-column assembly from a
+// workspace arena (nil falls back to allocating). EdgeFeatures4 returns
+// the precomputed static matrix either way.
+func (rc *RankContext) EdgeInputsInto(mode EdgeFeatureMode, x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
 	switch mode {
 	case EdgeFeatures4:
 		return rc.StaticEdge
 	case EdgeFeatures7:
-		out := tensor.New(rc.Graph.NumEdges(), 7)
-		parallel.For(rc.Graph.NumEdges(), 512, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				e := rc.Graph.Edges[k]
-				row := out.Row(k)
-				xs, xd := x.Row(e[0]), x.Row(e[1])
-				for j := 0; j < 3 && j < len(xs); j++ {
-					row[j] = xd[j] - xs[j]
-				}
-				copy(row[3:], rc.StaticEdge.Row(k))
-			}
-		})
+		// Inputs narrower than 3 columns leave part of the relative-
+		// feature block untouched, which must read as zero; full-width
+		// inputs overwrite every column, so the clear is skipped.
+		var out *tensor.Matrix
+		if x.Cols >= 3 {
+			out = a.Get(rc.Graph.NumEdges(), 7)
+		} else {
+			out = a.GetZeroed(rc.Graph.NumEdges(), 7)
+		}
+		rc.eiTask = edgeInputsTask{rc: rc, x: x, out: out}
+		parallel.ForTask(rc.Graph.NumEdges(), 512, &rc.eiTask)
 		return out
 	}
 	panic(fmt.Sprintf("gnn: unsupported edge mode %d", mode))

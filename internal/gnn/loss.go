@@ -21,9 +21,13 @@ import (
 // RankContext); the backward pass needs none — the reduction is linear, so
 // each rank's output gradient is purely local.
 type ConsistentMSE struct {
-	// diff caches Y-Ŷ for the backward pass.
-	diff *tensor.Matrix
-	rc   *RankContext
+	// diff caches Y-Ŷ for the backward pass; diff and dy are reused
+	// across steps (resized lazily), so steady-state loss evaluation
+	// allocates nothing.
+	diff   *tensor.Matrix
+	dy     *tensor.Matrix
+	sumBuf [1]float64
+	rc     *RankContext
 }
 
 // Forward returns the consistent loss. y and target are
@@ -36,7 +40,9 @@ func (l *ConsistentMSE) Forward(rc *RankContext, y, target *tensor.Matrix) float
 		panic(fmt.Sprintf("gnn: loss rows %d, want %d local nodes", y.Rows, rc.Graph.NumLocal()))
 	}
 	l.rc = rc
-	l.diff = tensor.New(y.Rows, y.Cols)
+	if l.diff == nil || l.diff.Rows != y.Rows || l.diff.Cols != y.Cols {
+		l.diff = tensor.New(y.Rows, y.Cols)
+	}
 	var s float64
 	for i := 0; i < y.Rows; i++ {
 		inv := 1 / rc.Graph.NodeDegree[i]
@@ -47,17 +53,21 @@ func (l *ConsistentMSE) Forward(rc *RankContext, y, target *tensor.Matrix) float
 			s += inv * d * d
 		}
 	}
-	buf := []float64{s}
-	rc.Comm.AllReduceSum(buf)
-	return buf[0] / (rc.Neff * float64(y.Cols))
+	l.sumBuf[0] = s
+	rc.Comm.AllReduceSum(l.sumBuf[:])
+	return l.sumBuf[0] / (rc.Neff * float64(y.Cols))
 }
 
-// Backward returns dL/dY for the most recent Forward.
+// Backward returns dL/dY for the most recent Forward. The returned matrix
+// is owned by the loss and valid until the next Backward call.
 func (l *ConsistentMSE) Backward() *tensor.Matrix {
 	if l.diff == nil {
 		panic("gnn: ConsistentMSE.Backward before Forward")
 	}
-	dy := tensor.New(l.diff.Rows, l.diff.Cols)
+	if l.dy == nil || l.dy.Rows != l.diff.Rows || l.dy.Cols != l.diff.Cols {
+		l.dy = tensor.New(l.diff.Rows, l.diff.Cols)
+	}
+	dy := l.dy
 	scale := 2 / (l.rc.Neff * float64(l.diff.Cols))
 	for i := 0; i < dy.Rows; i++ {
 		inv := scale / l.rc.Graph.NodeDegree[i]

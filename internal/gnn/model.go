@@ -3,6 +3,7 @@ package gnn
 import (
 	"fmt"
 
+	"meshgnn/internal/graph"
 	"meshgnn/internal/nn"
 	"meshgnn/internal/parallel"
 	"meshgnn/internal/tensor"
@@ -17,6 +18,16 @@ import (
 // A Model is rank-agnostic: the same parameters (identical on every rank
 // by deterministic seeding) evaluate any rank's sub-graph through a
 // RankContext. That is the paper's setup — θ does not depend on r.
+//
+// Memory model. The model owns a tensor.Arena from which its layers draw
+// every per-step activation and intermediate gradient. Forward resets the
+// arena (recycling the previous step's workspaces) and Backward continues
+// the same recorded sequence, so after the first step a forward/backward
+// pass performs no heap allocation in the tensor/nn/gnn kernels. The
+// returned prediction is copied into a model-owned buffer that stays
+// valid until the next Forward call. When the evaluated sub-graph or
+// batch shape changes, the arena is cleared and re-recorded on the next
+// pass.
 type Model struct {
 	Config Config
 
@@ -27,6 +38,19 @@ type Model struct {
 
 	params []*nn.Param
 	lastNe int // edge count of the most recent Forward, for Backward
+
+	arena *tensor.Arena
+	// outs double-buffers the persistent prediction: each Forward writes
+	// the buffer the *previous* call did not return, so the last returned
+	// prediction survives one further Forward — the pushforward pattern
+	// trainer.Step(rc, model.Forward(rc, x), target) reads the old
+	// prediction (as cached input and loss target) while the new one is
+	// being produced.
+	outs      [2]*tensor.Matrix
+	outIdx    int
+	lastGraph *graph.Local // arena shape signature
+	lastRows  int
+	lastCols  int
 }
 
 // ProcessorLayer is the contract shared by the consistent NMP layer and
@@ -74,6 +98,18 @@ func NewModel(cfg Config) (*Model, error) {
 	if got := nn.CountParams(m.params); got != cfg.ParamCount() {
 		return nil, fmt.Errorf("gnn: built %d parameters, formula says %d", got, cfg.ParamCount())
 	}
+
+	// One workspace arena feeds every layer that supports it (the
+	// attention processor keeps its own allocations for now).
+	m.arena = tensor.NewArena()
+	m.NodeEncoder.SetArena(m.arena)
+	m.EdgeEncoder.SetArena(m.arena)
+	m.Decoder.SetArena(m.arena)
+	for _, l := range m.Layers {
+		if au, ok := l.(nn.ArenaUser); ok {
+			au.SetArena(m.arena)
+		}
+	}
 	return m, nil
 }
 
@@ -85,32 +121,57 @@ func (m *Model) NumParams() int { return nn.CountParams(m.params) }
 
 // Forward evaluates the GNN on this rank's sub-graph. x is the
 // NumLocal×InputNodeFeatures node attribute matrix; the result is the
-// NumLocal×OutputNodeFeatures prediction. All ranks must call Forward
-// collectively (the NMP layers synchronize halos).
+// NumLocal×OutputNodeFeatures prediction, owned by the model: it stays
+// valid through ONE subsequent Forward call (so a returned prediction can
+// be fed straight back in as the next input or training target) and is
+// recycled by the call after that — hold it longer by cloning, as Rollout
+// does. All ranks must call Forward collectively (the NMP layers
+// synchronize halos).
 func (m *Model) Forward(rc *RankContext, x *tensor.Matrix) *tensor.Matrix {
 	if x.Rows != rc.Graph.NumLocal() || x.Cols != m.Config.InputNodeFeatures {
 		panic(fmt.Sprintf("gnn: input %dx%d, want %dx%d",
 			x.Rows, x.Cols, rc.Graph.NumLocal(), m.Config.InputNodeFeatures))
 	}
+	// A new forward pass begins the next workspace epoch: rewind the
+	// arena (replaying the recorded buffers), or re-record from scratch
+	// when the computation changed shape.
+	if rc.Graph != m.lastGraph || x.Rows != m.lastRows || x.Cols != m.lastCols {
+		m.arena.Clear()
+		m.lastGraph, m.lastRows, m.lastCols = rc.Graph, x.Rows, x.Cols
+	}
+	m.arena.Reset()
 	hx := m.NodeEncoder.Forward(x)
-	he := m.EdgeEncoder.Forward(rc.EdgeInputs(m.Config.EdgeMode, x))
+	he := m.EdgeEncoder.Forward(rc.EdgeInputsInto(m.Config.EdgeMode, x, m.arena))
 	m.lastNe = rc.Graph.NumEdges()
 	for _, l := range m.Layers {
 		hx, he = l.Forward(rc, hx, he)
 	}
-	return m.Decoder.Forward(hx)
+	y := m.Decoder.Forward(hx)
+	// The prediction escapes the step (losses, rollouts, assembly hold
+	// it), so it is copied out of the arena into a persistent buffer —
+	// alternating between two so the previously returned prediction stays
+	// intact through this call (see outs).
+	m.outIdx = 1 - m.outIdx
+	out := m.outs[m.outIdx]
+	if out == nil || out.Rows != y.Rows || out.Cols != y.Cols {
+		out = tensor.New(y.Rows, y.Cols)
+		m.outs[m.outIdx] = out
+	}
+	tensor.CloneInto(out, y)
+	return out
 }
 
 // Backward propagates the output gradient dy through the model,
 // accumulating parameter gradients. Gradients with respect to the raw
 // inputs are not returned: inputs are data, and the edge-feature
 // dependence on x (EdgeFeatures7 mode) is likewise treated as constant.
-// All ranks must call Backward collectively.
+// All ranks must call Backward collectively, after the matching Forward
+// (the workspace epoch spans the forward and backward pass).
 func (m *Model) Backward(dy *tensor.Matrix) {
 	dhx := m.Decoder.Backward(dy)
 	// The last layer's edge gradient starts at zero (edge features are
 	// discarded after message passing, per the paper's decoder).
-	dhe := tensor.New(m.lastNe, m.Config.HiddenDim)
+	dhe := m.arena.GetZeroed(m.lastNe, m.Config.HiddenDim)
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		dhx, dhe = m.Layers[i].Backward(dhx, dhe)
 	}
@@ -120,3 +181,7 @@ func (m *Model) Backward(dy *tensor.Matrix) {
 
 // ZeroGrads clears all parameter gradients.
 func (m *Model) ZeroGrads() { nn.ZeroGrads(m.params) }
+
+// WorkspaceFootprint reports the arena's slab storage in float64s — the
+// model's steady-state per-step workspace.
+func (m *Model) WorkspaceFootprint() int { return m.arena.Footprint() }

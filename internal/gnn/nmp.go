@@ -3,6 +3,7 @@ package gnn
 import (
 	"math/rand"
 
+	"meshgnn/internal/graph"
 	"meshgnn/internal/nn"
 	"meshgnn/internal/parallel"
 	"meshgnn/internal/tensor"
@@ -22,13 +23,19 @@ import (
 // Residual connections wrap both MLPs, matching the encode-process-decode
 // processors of the MeshGraphNets lineage the paper builds on.
 //
-// All hot loops run on the intra-rank worker pool. The edge update (4a)
-// and the aggregation adjoint partition cleanly over edges; the
-// aggregation (4b) and the edge-input adjoint scatter partition over
-// *receiver* (resp. sender) nodes through the graph's CSR edge indexes,
+// All hot loops run on the intra-rank worker pool through reusable bound
+// tasks (no per-call closures). The edge update (4a) and the aggregation
+// adjoint partition cleanly over edges; the aggregation (4b), the halo
+// synchronization (4d), and the edge-input adjoint scatter partition over
+// *receiver* (resp. sender, owner) rows through the graph's CSR indexes,
 // so no two workers ever accumulate into the same row — scatter-adds need
 // neither atomics nor locks, and every output bit is independent of the
 // thread count.
+//
+// With SetArena, every per-step matrix (edge inputs, aggregates, halo
+// staging, node inputs, and all backward intermediates) comes from the
+// shared workspace arena: after the first step the layer allocates
+// nothing.
 type NMPLayer struct {
 	EdgeMLP *nn.MLP // (x_dst ‖ x_src ‖ e) → H
 	NodeMLP *nn.MLP // (a* ‖ x) → H
@@ -38,11 +45,20 @@ type NMPLayer struct {
 	// to demonstrate why the scaling is load-bearing.
 	DisableDegreeScaling bool
 
+	arena *tensor.Arena
+
 	// caches for backward
 	rc       *RankContext
 	edgeIn   *tensor.Matrix
 	nodeIn   *tensor.Matrix
 	haloRows int
+
+	// bound parallel-region tasks, reused across steps
+	edgeInT nmpEdgeInTask
+	aggT    nmpAggTask
+	absorbT nmpAbsorbTask
+	dHaloT  nmpDHaloTask
+	dEOutT  nmpDEOutTask
 }
 
 // edgeGrain bounds chunk dispatch overhead for per-edge loops of width h.
@@ -62,67 +78,157 @@ func NewNMPLayer(name string, hidden, mlpHidden int, rng *rand.Rand) *NMPLayer {
 	}
 }
 
+// SetArena implements nn.ArenaUser: the layer and its MLPs draw all
+// per-step workspaces from a.
+func (l *NMPLayer) SetArena(a *tensor.Arena) {
+	l.arena = a
+	l.EdgeMLP.SetArena(a)
+	l.NodeMLP.SetArena(a)
+}
+
+// nmpEdgeInTask assembles the (x_i ‖ x_j ‖ e_ij) edge-input rows (4a).
+// Each edge row is written once.
+type nmpEdgeInTask struct {
+	g         *graph.Local
+	x, e, out *tensor.Matrix
+	h         int
+}
+
+func (t *nmpEdgeInTask) Run(lo, hi int) {
+	h := t.h
+	for k := lo; k < hi; k++ {
+		ed := t.g.Edges[k]
+		row := t.out.Row(k)
+		copy(row[:h], t.x.Row(ed[1]))    // x_i (receiver)
+		copy(row[h:2*h], t.x.Row(ed[0])) // x_j (sender)
+		copy(row[2*h:], t.e.Row(k))      // e_ij
+	}
+}
+
+// nmpAggTask is the degree-scaled receiver aggregation (4b): each worker
+// owns a span of receiver rows and walks its incoming edges in canonical
+// order — the same per-row summation order as a serial edge sweep, for
+// any thread count.
+type nmpAggTask struct {
+	g          *graph.Local
+	eOut, agg  *tensor.Matrix
+	disableDeg bool
+}
+
+func (t *nmpAggTask) Run(lo, hi int) {
+	g := t.g
+	for i := lo; i < hi; i++ {
+		dst := t.agg.Row(i)
+		for k := g.RecvStart[i]; k < g.RecvStart[i+1]; k++ {
+			src := t.eOut.Row(k)
+			inv := 1.0
+			if !t.disableDeg {
+				inv = 1 / g.EdgeDegree[k]
+			}
+			for j, v := range src {
+				dst[j] += inv * v
+			}
+		}
+	}
+}
+
+// nmpAbsorbTask is the synchronization step (4d): owners absorb their halo
+// copies through the owner-grouped halo CSR, each owner row written by
+// exactly one worker, contributions applied in ascending halo-row order
+// (the serial sweep's order).
+type nmpAbsorbTask struct {
+	g         *graph.Local
+	agg, halo *tensor.Matrix
+}
+
+func (t *nmpAbsorbTask) Run(lo, hi int) {
+	g := t.g
+	for i := lo; i < hi; i++ {
+		dst := t.agg.Row(i)
+		for p := g.HaloStart[i]; p < g.HaloStart[i+1]; p++ {
+			src := t.halo.Row(g.HaloPerm[p])
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+}
+
+// nmpDHaloTask is the synchronization adjoint (4d backward): each halo
+// row's gradient is its owner's aggregate gradient — a pure gather, every
+// halo row written once.
+type nmpDHaloTask struct {
+	g           *graph.Local
+	dAgg, dHalo *tensor.Matrix
+}
+
+func (t *nmpDHaloTask) Run(lo, hi int) {
+	for hr := lo; hr < hi; hr++ {
+		copy(t.dHalo.Row(hr), t.dAgg.Row(t.g.HaloOwner[hr]))
+	}
+}
+
+// nmpDEOutTask is the aggregation backward (4b adjoint):
+// de_k = dAgg[dst_k] / d_k, a pure gather per edge.
+type nmpDEOutTask struct {
+	g          *graph.Local
+	dAgg, dOut *tensor.Matrix
+	disableDeg bool
+}
+
+func (t *nmpDEOutTask) Run(lo, hi int) {
+	g := t.g
+	for k := lo; k < hi; k++ {
+		src := t.dAgg.Row(g.Edges[k][1])
+		dst := t.dOut.Row(k)
+		inv := 1.0
+		if !t.disableDeg {
+			inv = 1 / g.EdgeDegree[k]
+		}
+		for j, v := range src {
+			dst[j] = inv * v
+		}
+	}
+}
+
 // Forward applies the layer in place semantics-wise but returns fresh
 // matrices: x (Nlocal×H) and e (Ne×H) are the hidden node and edge
-// features; the returned pair are the updated features.
+// features; the returned pair are the updated features (arena-owned when
+// an arena is set — valid until the owning model's next forward pass).
 func (l *NMPLayer) Forward(rc *RankContext, x, e *tensor.Matrix) (xOut, eOut *tensor.Matrix) {
 	l.rc = rc
 	g := rc.Graph
 	h := x.Cols
 
 	// (4a) edge update with residual. Each edge row is written once.
-	l.edgeIn = tensor.New(g.NumEdges(), 3*h)
-	parallel.For(g.NumEdges(), edgeGrain(h), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			ed := g.Edges[k]
-			row := l.edgeIn.Row(k)
-			copy(row[:h], x.Row(ed[1]))    // x_i (receiver)
-			copy(row[h:2*h], x.Row(ed[0])) // x_j (sender)
-			copy(row[2*h:], e.Row(k))      // e_ij
-		}
-	})
+	l.edgeIn = l.arena.Get(g.NumEdges(), 3*h)
+	l.edgeInT = nmpEdgeInTask{g: g, x: x, e: e, out: l.edgeIn, h: h}
+	parallel.ForTask(g.NumEdges(), edgeGrain(h), &l.edgeInT)
 	eOut = l.EdgeMLP.Forward(l.edgeIn)
 	tensor.AddScaled(eOut, 1, e) // residual
 
 	// (4b) degree-scaled local aggregation at the receiver. Edges are
-	// sorted by destination, so RecvStart partitions them by receiver:
-	// each worker owns a span of receiver rows and walks its incoming
-	// edges in canonical order — the same per-row summation order as a
-	// serial edge sweep, for any thread count.
-	agg := tensor.New(g.NumLocal(), h)
-	parallel.For(g.NumLocal(), edgeGrain(h), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst := agg.Row(i)
-			for k := g.RecvStart[i]; k < g.RecvStart[i+1]; k++ {
-				src := eOut.Row(k)
-				inv := 1.0
-				if !l.DisableDegreeScaling {
-					inv = 1 / g.EdgeDegree[k]
-				}
-				for j, v := range src {
-					dst[j] += inv * v
-				}
-			}
-		}
-	})
+	// sorted by destination, so RecvStart partitions them by receiver.
+	agg := l.arena.GetZeroed(g.NumLocal(), h)
+	l.aggT = nmpAggTask{g: g, eOut: eOut, agg: agg, disableDeg: l.DisableDegreeScaling}
+	parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.aggT)
 
-	// (4c) halo swap of the local aggregates.
+	// (4c) halo swap of the local aggregates. The halo staging buffer is
+	// zeroed because NoExchange leaves it untouched (and must then
+	// contribute exactly nothing in 4d).
 	l.haloRows = g.NumHalo()
-	halo := tensor.New(l.haloRows, h)
+	halo := l.arena.GetZeroed(l.haloRows, h)
 	l.rc.Ex.Forward(rc.Comm, agg, halo)
 
-	// (4d) synchronization: owners absorb their halo copies. Halo rows
-	// are few (a surface term) and several may share an owner, so this
-	// stays serial.
-	for hr, owner := range g.HaloOwner {
-		dst := agg.Row(owner)
-		for j, v := range halo.Row(hr) {
-			dst[j] += v
-		}
-	}
+	// (4d) synchronization: owners absorb their halo copies, partitioned
+	// by owner through the owner-grouped halo CSR (every graph builder
+	// populates it, and Validate enforces its coherence).
+	l.absorbT = nmpAbsorbTask{g: g, agg: agg, halo: halo}
+	parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.absorbT)
 
 	// (4e) node update with residual.
-	l.nodeIn = tensor.HCat(agg, x)
+	l.nodeIn = l.arena.Get(g.NumLocal(), 2*h)
+	tensor.HCatInto(l.nodeIn, agg, x)
 	xOut = l.NodeMLP.Forward(l.nodeIn)
 	tensor.AddScaled(xOut, 1, x)
 	return xOut, eOut
@@ -140,19 +246,21 @@ func (l *NMPLayer) Backward(dxOut, deOut *tensor.Matrix) (dx, de *tensor.Matrix)
 	h := dxOut.Cols
 
 	// (4e) node update backward; residual passes dxOut straight through.
+	// The concatenated input gradient splits into column views instead of
+	// copies: the aggregate half is materialized (the adjoint exchange
+	// scatter-adds into it), the x half is consumed in place.
 	dNodeIn := l.NodeMLP.Backward(dxOut)
-	parts := tensor.SplitCols(dNodeIn, h, h)
-	dAggStar, dxFromNode := parts[0], parts[1]
-	dx = dxOut.Clone()
-	tensor.AddScaled(dx, 1, dxFromNode)
+	dAgg := l.arena.Get(g.NumLocal(), h)
+	tensor.CopyViewInto(dAgg, dNodeIn.View(0, h))
+	dx = l.arena.Get(dxOut.Rows, h)
+	tensor.CloneInto(dx, dxOut)
+	tensor.AddScaledView(dx, 1, dNodeIn.View(h, h))
 
 	// (4d) synchronization backward: each halo row's gradient is its
-	// owner's aggregate gradient; the local aggregate keeps dAggStar.
-	dHalo := tensor.New(l.haloRows, h)
-	for hr, owner := range g.HaloOwner {
-		copy(dHalo.Row(hr), dAggStar.Row(owner))
-	}
-	dAgg := dAggStar // identity path
+	// owner's aggregate gradient; the local aggregate keeps dAgg.
+	dHalo := l.arena.Get(l.haloRows, h)
+	l.dHaloT = nmpDHaloTask{g: g, dAgg: dAgg, dHalo: dHalo}
+	parallel.ForTask(l.haloRows, edgeGrain(h), &l.dHaloT)
 
 	// (4c) halo swap adjoint: halo gradients scatter-add into the
 	// neighbors' local aggregate gradients.
@@ -160,33 +268,22 @@ func (l *NMPLayer) Backward(dxOut, deOut *tensor.Matrix) (dx, de *tensor.Matrix)
 
 	// (4b) aggregation backward: de_k = dAgg[dst_k] / d_k. A pure gather
 	// per edge — every edge row written exactly once.
-	dEOut := tensor.New(g.NumEdges(), h)
-	parallel.For(g.NumEdges(), edgeGrain(h), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			src := dAgg.Row(g.Edges[k][1])
-			dst := dEOut.Row(k)
-			inv := 1.0
-			if !l.DisableDegreeScaling {
-				inv = 1 / g.EdgeDegree[k]
-			}
-			for j, v := range src {
-				dst[j] = inv * v
-			}
-		}
-	})
+	dEOut := l.arena.Get(g.NumEdges(), h)
+	l.dEOutT = nmpDEOutTask{g: g, dAgg: dAgg, dOut: dEOut, disableDeg: l.DisableDegreeScaling}
+	parallel.ForTask(g.NumEdges(), edgeGrain(h), &l.dEOutT)
 	// deOut also flows directly into eOut (it is returned upward).
 	tensor.AddScaled(dEOut, 1, deOut)
 
 	// (4a) edge update backward; residual passes dEOut to de.
 	dEdgeIn := l.EdgeMLP.Backward(dEOut)
-	eparts := tensor.SplitCols(dEdgeIn, h, h, h)
-	de = dEOut.Clone()
-	tensor.AddScaled(de, 1, eparts[2])
+	de = l.arena.Get(g.NumEdges(), h)
+	tensor.CloneInto(de, dEOut)
+	tensor.AddScaledView(de, 1, dEdgeIn.View(2*h, h))
 	// The receiver-side gradient scatters along the (dst,src)-sorted
 	// edges directly; the sender-side gradient scatters through the
 	// sender-grouped permutation. Both partition by destination row.
-	tensor.ScatterAddRowsGrouped(dx, eparts[0], g.RecvStart, nil)
-	tensor.ScatterAddRowsGrouped(dx, eparts[1], g.SendStart, g.SendPerm)
+	tensor.ScatterAddRowsGroupedView(dx, dEdgeIn.View(0, h), g.RecvStart, nil)
+	tensor.ScatterAddRowsGroupedView(dx, dEdgeIn.View(h, h), g.SendStart, g.SendPerm)
 	return dx, de
 }
 

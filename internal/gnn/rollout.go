@@ -20,7 +20,9 @@ func Rollout(model *Model, rc *RankContext, x0 *tensor.Matrix, steps int) []*ten
 	state := x0.Clone()
 	out = append(out, state)
 	for s := 0; s < steps; s++ {
-		state = model.Forward(rc, state)
+		// Forward returns a model-owned buffer that the next call
+		// overwrites; each trajectory entry needs its own copy.
+		state = model.Forward(rc, state).Clone()
 		out = append(out, state)
 	}
 	return out

@@ -67,6 +67,14 @@ type Local struct {
 	// sender-side gradients by owner, again without atomics.
 	SendPerm  []int
 	SendStart []int
+	// HaloPerm lists halo-row indices grouped by owning local row and
+	// HaloStart is the matching CSR: the halo copies of local node i are
+	// HaloPerm[HaloStart[i]:HaloStart[i+1]], ascending in halo-row order.
+	// The synchronization step (Eq. 4d) uses it to absorb halo aggregates
+	// owner-parallel without atomics, in the same per-owner order as the
+	// serial halo-row sweep — so the sum is bitwise-identical.
+	HaloPerm  []int
+	HaloStart []int
 	// GlobalNodes is the unique node count of the full graph, for
 	// convenience in loss normalization checks.
 	GlobalNodes int64
@@ -256,6 +264,24 @@ func (l *Local) buildCSR() {
 	for k, e := range l.Edges {
 		l.SendPerm[fill[e[0]]] = k
 		fill[e[0]]++
+	}
+
+	// Owner-grouped halo index: counting sort of halo rows by owner keeps
+	// each owner's halo rows in ascending halo-row order, matching the
+	// serial absorb sweep bit-for-bit.
+	l.HaloStart = make([]int, n+1)
+	for _, owner := range l.HaloOwner {
+		l.HaloStart[owner+1]++
+	}
+	for i := 0; i < n; i++ {
+		l.HaloStart[i+1] += l.HaloStart[i]
+	}
+	l.HaloPerm = make([]int, len(l.HaloOwner))
+	hfill := make([]int, n)
+	copy(hfill, l.HaloStart[:n])
+	for hr, owner := range l.HaloOwner {
+		l.HaloPerm[hfill[owner]] = hr
+		hfill[owner]++
 	}
 }
 

@@ -94,6 +94,29 @@ func (l *Local) Validate() error {
 			return fmt.Errorf("graph: halo %d owner %d out of range", h, owner)
 		}
 	}
+	// Owner-grouped halo index coherence: every halo row listed once,
+	// under its owner, ascending within each owner group.
+	if len(l.HaloStart) != n+1 || len(l.HaloPerm) != len(l.HaloOwner) {
+		return fmt.Errorf("graph: halo CSR sizes %d/%d, want %d/%d",
+			len(l.HaloStart), len(l.HaloPerm), n+1, len(l.HaloOwner))
+	}
+	if l.HaloStart[0] != 0 || l.HaloStart[n] != len(l.HaloPerm) {
+		return fmt.Errorf("graph: halo CSR bounds [%d,%d]", l.HaloStart[0], l.HaloStart[n])
+	}
+	for i := 0; i < n; i++ {
+		if l.HaloStart[i] > l.HaloStart[i+1] {
+			return fmt.Errorf("graph: halo CSR not monotonic at node %d", i)
+		}
+		for p := l.HaloStart[i]; p < l.HaloStart[i+1]; p++ {
+			hr := l.HaloPerm[p]
+			if hr < 0 || hr >= len(l.HaloOwner) || l.HaloOwner[hr] != i {
+				return fmt.Errorf("graph: halo CSR entry %d misgrouped under node %d", hr, i)
+			}
+			if p > l.HaloStart[i] && l.HaloPerm[p-1] >= hr {
+				return fmt.Errorf("graph: halo CSR not ascending under node %d", i)
+			}
+		}
+	}
 	return nil
 }
 

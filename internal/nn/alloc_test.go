@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshgnn/internal/parallel"
+	"meshgnn/internal/tensor"
+)
+
+// TestMLPZeroAllocSteadyState asserts the arena-backed MLP forward and
+// backward passes allocate nothing after the first (recording) pass.
+func TestMLPZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	parallel.Configure(1, true)
+	defer parallel.Configure(0, true)
+
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP("t", 12, 32, 8, 2, true, rng)
+	arena := tensor.NewArena()
+	m.SetArena(arena)
+
+	const rows = 200
+	x := tensor.New(rows, 12)
+	dy := tensor.New(rows, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range dy.Data {
+		dy.Data[i] = rng.NormFloat64()
+	}
+
+	params := m.Params() // cached, as the trainer does
+	pass := func() {
+		arena.Reset()
+		ZeroGrads(params)
+		m.Forward(x)
+		m.Backward(dy)
+	}
+	pass() // record the workspace sequence, size the scratch buffers
+	if n := testing.AllocsPerRun(10, pass); n != 0 {
+		t.Fatalf("MLP forward+backward allocates %v times per pass in steady state", n)
+	}
+}
+
+// TestMLPArenaMatchesAllocating pins the arena path bitwise against the
+// plain allocating path for forward and backward, including accumulated
+// parameter gradients.
+func TestMLPArenaMatchesAllocating(t *testing.T) {
+	build := func() *MLP {
+		return NewMLP("t", 6, 16, 4, 1, true, rand.New(rand.NewSource(9)))
+	}
+	ref := build()
+	withArena := build()
+	arena := tensor.NewArena()
+	withArena.SetArena(arena)
+
+	const rows = 37
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(rows, 6)
+	dy := tensor.New(rows, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range dy.Data {
+		dy.Data[i] = rng.NormFloat64()
+	}
+
+	for pass := 0; pass < 3; pass++ {
+		arena.Reset()
+		ZeroGrads(ref.Params())
+		ZeroGrads(withArena.Params())
+		yRef := ref.Forward(x)
+		yArena := withArena.Forward(x)
+		if !yRef.Equal(yArena) {
+			t.Fatalf("pass %d: forward outputs differ", pass)
+		}
+		dxRef := ref.Backward(dy)
+		dxArena := withArena.Backward(dy)
+		if !dxRef.Equal(dxArena) {
+			t.Fatalf("pass %d: input gradients differ", pass)
+		}
+		pr, pa := ref.Params(), withArena.Params()
+		for i := range pr {
+			if !pr[i].G.Equal(pa[i].G) {
+				t.Fatalf("pass %d: gradient %s differs", pass, pr[i].Name)
+			}
+		}
+	}
+}

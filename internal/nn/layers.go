@@ -8,6 +8,13 @@
 // reduces gradients across ranks exactly like PyTorch DDP does — except
 // with a deterministic rank-ordered reduction so the paper's gradient
 // consistency property (Eq. 3) can be asserted to machine precision.
+//
+// Memory model. Layers optionally draw their activations and intermediate
+// gradients from a shared tensor.Arena (SetArena): after the first
+// forward/backward pass the arena replays recorded buffers, so a training
+// step allocates nothing. Without an arena the layers fall back to fresh
+// tensor.New allocations with identical numerics. Parameters and their
+// gradients are always ordinary allocations — their lifetime spans steps.
 package nn
 
 import (
@@ -37,10 +44,19 @@ func (p *Param) Count() int { return p.W.Rows * p.W.Cols }
 // consumes the input batch and returns the output; Backward consumes the
 // output gradient, accumulates parameter gradients, and returns the input
 // gradient. Backward must be called after the matching Forward.
+//
+// Returned activations and gradients may be arena-owned (see ArenaUser):
+// they remain valid until the owning model begins its next forward pass.
 type Layer interface {
 	Forward(x *tensor.Matrix) *tensor.Matrix
 	Backward(dy *tensor.Matrix) *tensor.Matrix
 	Params() []*Param
+}
+
+// ArenaUser is implemented by layers that can draw per-step workspaces
+// from a shared arena instead of allocating.
+type ArenaUser interface {
+	SetArena(a *tensor.Arena)
 }
 
 // Linear is a dense affine layer y = x·W + b.
@@ -49,8 +65,9 @@ type Linear struct {
 	Weight  *Param // In×Out
 	Bias    *Param // 1×Out
 
-	x  *tensor.Matrix // cached input
-	dw *tensor.Matrix // scratch for the weight-gradient GEMM
+	arena *tensor.Arena
+	x     *tensor.Matrix // cached input
+	dw    *tensor.Matrix // scratch for the weight-gradient GEMM
 }
 
 // NewLinear creates a linear layer with Glorot-uniform weights drawn from
@@ -70,14 +87,17 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 	return l
 }
 
+// SetArena implements ArenaUser.
+func (l *Linear) SetArena(a *tensor.Arena) { l.arena = a }
+
 // Forward implements Layer.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: Linear %s input width %d, want %d", l.Weight.Name, x.Cols, l.In))
 	}
 	l.x = x
-	y := tensor.New(x.Rows, l.Out)
-	tensor.MatMul(y, x, l.Weight.W)
+	y := l.arena.Get(x.Rows, l.Out)
+	tensor.MatMul(y, x, l.Weight.W) // fully overwrites y
 	tensor.AddRowVector(y, l.Bias.W.Data)
 	return y
 }
@@ -87,59 +107,161 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 // contributions; ZeroGrads resets them between iterations.
 func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if l.dw == nil {
+		// The weight-gradient scratch persists across steps (it has a
+		// fixed parameter shape), so it lives outside the arena.
 		l.dw = tensor.New(l.In, l.Out)
 	}
 	tensor.MatMulATB(l.dw, l.x, dy)
 	tensor.AddScaled(l.Weight.G, 1, l.dw)
 	tensor.ColSums(l.Bias.G.Data, dy)
-	dx := tensor.New(dy.Rows, l.In)
-	tensor.MatMulABT(dx, dy, l.Weight.W)
+	dx := l.arena.Get(dy.Rows, l.In)
+	tensor.MatMulABT(dx, dy, l.Weight.W) // fully overwrites dx
 	return dx
 }
 
 // Params implements Layer.
 func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
+// eluForwardTask is the bound ELU forward body (reused, no closure).
+type eluForwardTask struct{ x, y *tensor.Matrix }
+
+func (t *eluForwardTask) Run(lo, hi int) {
+	xd, yd := t.x.Data, t.y.Data
+	for i := lo; i < hi; i++ {
+		if v := xd[i]; v > 0 {
+			yd[i] = v
+		} else {
+			yd[i] = math.Exp(v) - 1
+		}
+	}
+}
+
+// eluBackwardTask is the bound ELU backward body.
+type eluBackwardTask struct{ y, dy, dx *tensor.Matrix }
+
+func (t *eluBackwardTask) Run(lo, hi int) {
+	yd, dyd, dxd := t.y.Data, t.dy.Data, t.dx.Data
+	for i := lo; i < hi; i++ {
+		g := dyd[i]
+		if y := yd[i]; y > 0 {
+			dxd[i] = g
+		} else {
+			dxd[i] = g * (y + 1) // d/dx (e^x - 1) = e^x = y + 1
+		}
+	}
+}
+
 // ELU applies the exponential linear unit element-wise with alpha = 1.
 type ELU struct {
-	y *tensor.Matrix
+	y     *tensor.Matrix
+	arena *tensor.Arena
+	fwd   eluForwardTask
+	bwd   eluBackwardTask
 }
+
+// SetArena implements ArenaUser.
+func (e *ELU) SetArena(a *tensor.Arena) { e.arena = a }
 
 // Forward implements Layer. Element-wise, so the parallel partition over
 // the flat storage cannot change any result bit.
 func (e *ELU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.New(x.Rows, x.Cols)
-	parallel.For(len(x.Data), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if v := x.Data[i]; v > 0 {
-				y.Data[i] = v
-			} else {
-				y.Data[i] = math.Exp(v) - 1
-			}
-		}
-	})
+	y := e.arena.Get(x.Rows, x.Cols)
+	e.fwd.x, e.fwd.y = x, y
+	parallel.ForTask(len(x.Data), 4096, &e.fwd)
 	e.y = y
 	return y
 }
 
 // Backward implements Layer.
 func (e *ELU) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dy.Rows, dy.Cols)
-	parallel.For(len(dy.Data), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			g := dy.Data[i]
-			if y := e.y.Data[i]; y > 0 {
-				dx.Data[i] = g
-			} else {
-				dx.Data[i] = g * (y + 1) // d/dx (e^x - 1) = e^x = y + 1
-			}
-		}
-	})
+	dx := e.arena.Get(dy.Rows, dy.Cols)
+	e.bwd.y, e.bwd.dy, e.bwd.dx = e.y, dy, dx
+	parallel.ForTask(len(dy.Data), 4096, &e.bwd)
 	return dx
 }
 
 // Params implements Layer.
 func (e *ELU) Params() []*Param { return nil }
+
+// lnForwardTask is the bound LayerNorm forward body: each row normalizes
+// independently (a pure row partition).
+type lnForwardTask struct {
+	ln   *LayerNorm
+	x, y *tensor.Matrix
+}
+
+func (t *lnForwardTask) Run(lo, hi int) {
+	ln := t.ln
+	n := float64(ln.Dim)
+	for i := lo; i < hi; i++ {
+		row := t.x.Row(i)
+		var mu float64
+		for _, v := range row {
+			mu += v
+		}
+		mu /= n
+		var varsum float64
+		for _, v := range row {
+			d := v - mu
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/n+Epsilon)
+		ln.invStd[i] = inv
+		xh := ln.xhat.Row(i)
+		out := t.y.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mu) * inv
+			out[j] = xh[j]*ln.Gain.W.Data[j] + ln.Shift.W.Data[j]
+		}
+	}
+}
+
+// lnBackwardTask is the bound LayerNorm backward reduction: the input
+// gradient is a pure row partition; the gain/shift gradients reduce over
+// all rows into per-chunk partials merged in fixed order.
+type lnBackwardTask struct {
+	ln     *LayerNorm
+	dy, dx *tensor.Matrix
+}
+
+func (t *lnBackwardTask) Body(lo, hi int, acc []float64) {
+	ln := t.ln
+	dim := ln.Dim
+	n := float64(dim)
+	dGain, dShift := acc[:dim], acc[dim:]
+	for i := lo; i < hi; i++ {
+		dyr := t.dy.Row(i)
+		xh := ln.xhat.Row(i)
+		// Parameter gradient partials.
+		for j, g := range dyr {
+			dGain[j] += g * xh[j]
+			dShift[j] += g
+		}
+		// Input gradient:
+		// dx = invStd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
+		var sum1, sum2 float64
+		for j, g := range dyr {
+			dxh := g * ln.Gain.W.Data[j]
+			sum1 += dxh
+			sum2 += dxh * xh[j]
+		}
+		inv := ln.invStd[i]
+		out := t.dx.Row(i)
+		for j, g := range dyr {
+			dxh := g * ln.Gain.W.Data[j]
+			out[j] = inv / n * (n*dxh - sum1 - xh[j]*sum2)
+		}
+	}
+}
+
+func (t *lnBackwardTask) Merge(acc []float64) {
+	ln := t.ln
+	dim := ln.Dim
+	for j := 0; j < dim; j++ {
+		ln.Gain.G.Data[j] += acc[j]
+		ln.Shift.G.Data[j] += acc[dim+j]
+	}
+}
 
 // LayerNorm normalizes each row to zero mean and unit variance, then
 // applies a learned affine transform.
@@ -148,8 +270,11 @@ type LayerNorm struct {
 	Gain  *Param // 1×Dim
 	Shift *Param // 1×Dim
 
+	arena  *tensor.Arena
 	xhat   *tensor.Matrix
 	invStd []float64
+	fwd    lnForwardTask
+	bwd    lnBackwardTask
 }
 
 // Epsilon guards the variance in LayerNorm, matching the PyTorch
@@ -169,83 +294,34 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 	return ln
 }
 
+// SetArena implements ArenaUser.
+func (ln *LayerNorm) SetArena(a *tensor.Arena) { ln.arena = a }
+
 // Forward implements Layer.
 func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != ln.Dim {
 		panic(fmt.Sprintf("nn: LayerNorm %s width %d, want %d", ln.Gain.Name, x.Cols, ln.Dim))
 	}
-	n := float64(ln.Dim)
-	y := tensor.New(x.Rows, x.Cols)
-	ln.xhat = tensor.New(x.Rows, x.Cols)
-	ln.invStd = make([]float64, x.Rows)
-	// Each row normalizes independently: a pure row partition.
-	parallel.For(x.Rows, 256, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x.Row(i)
-			var mu float64
-			for _, v := range row {
-				mu += v
-			}
-			mu /= n
-			var varsum float64
-			for _, v := range row {
-				d := v - mu
-				varsum += d * d
-			}
-			inv := 1 / math.Sqrt(varsum/n+Epsilon)
-			ln.invStd[i] = inv
-			xh := ln.xhat.Row(i)
-			out := y.Row(i)
-			for j, v := range row {
-				xh[j] = (v - mu) * inv
-				out[j] = xh[j]*ln.Gain.W.Data[j] + ln.Shift.W.Data[j]
-			}
-		}
-	})
+	y := ln.arena.Get(x.Rows, x.Cols)
+	ln.xhat = ln.arena.Get(x.Rows, x.Cols)
+	if ln.arena != nil {
+		// A 1-column arena matrix backs the per-row inverse stddev cache.
+		ln.invStd = ln.arena.Get(x.Rows, 1).Data
+	} else if cap(ln.invStd) < x.Rows {
+		ln.invStd = make([]float64, x.Rows)
+	} else {
+		ln.invStd = ln.invStd[:x.Rows]
+	}
+	ln.fwd.ln, ln.fwd.x, ln.fwd.y = ln, x, y
+	parallel.ForTask(x.Rows, 256, &ln.fwd)
 	return y
 }
 
-// Backward implements Layer. The input gradient is a pure row partition;
-// the gain/shift gradients reduce over all rows, so they accumulate into
-// per-chunk partials merged in fixed order (bitwise-reproducible across
-// thread counts under the engine's deterministic mode).
+// Backward implements Layer.
 func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	n := float64(ln.Dim)
-	dim := ln.Dim
-	dx := tensor.New(dy.Rows, dy.Cols)
-	parallel.Reduce(dy.Rows, 256, 2*dim,
-		func(lo, hi int, acc []float64) {
-			dGain, dShift := acc[:dim], acc[dim:]
-			for i := lo; i < hi; i++ {
-				dyr := dy.Row(i)
-				xh := ln.xhat.Row(i)
-				// Parameter gradient partials.
-				for j, g := range dyr {
-					dGain[j] += g * xh[j]
-					dShift[j] += g
-				}
-				// Input gradient:
-				// dx = invStd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
-				var sum1, sum2 float64
-				for j, g := range dyr {
-					dxh := g * ln.Gain.W.Data[j]
-					sum1 += dxh
-					sum2 += dxh * xh[j]
-				}
-				inv := ln.invStd[i]
-				out := dx.Row(i)
-				for j, g := range dyr {
-					dxh := g * ln.Gain.W.Data[j]
-					out[j] = inv / n * (n*dxh - sum1 - xh[j]*sum2)
-				}
-			}
-		},
-		func(acc []float64) {
-			for j := 0; j < dim; j++ {
-				ln.Gain.G.Data[j] += acc[j]
-				ln.Shift.G.Data[j] += acc[dim+j]
-			}
-		})
+	dx := ln.arena.Get(dy.Rows, dy.Cols)
+	ln.bwd.ln, ln.bwd.dy, ln.bwd.dx = ln, dy, dx
+	parallel.ReduceWith(dy.Rows, 256, 2*ln.Dim, &ln.bwd)
 	return dx
 }
 

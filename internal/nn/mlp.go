@@ -40,6 +40,17 @@ func NewMLP(name string, in, hiddenDim, out, hidden int, norm bool, rng *rand.Ra
 	return m
 }
 
+// SetArena implements ArenaUser: the block's layers draw activations and
+// gradients from a, so steady-state forward/backward passes allocate
+// nothing.
+func (m *MLP) SetArena(a *tensor.Arena) {
+	for _, l := range m.layers {
+		if au, ok := l.(ArenaUser); ok {
+			au.SetArena(a)
+		}
+	}
+}
+
 // Forward implements Layer.
 func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 	for _, l := range m.layers {

@@ -26,6 +26,14 @@
 // slightly faster, still race-free and run-to-run stable for a fixed
 // Threads value, but not reproducible across different Threads settings).
 //
+// Allocation contract. The dispatch machinery itself allocates nothing in
+// steady state: jobs, reduction runners, and partial accumulators are all
+// recycled through pools. Hot kernels reach the zero-allocation path by
+// using the Task/Reducer forms (ForTask, ReduceWith) with reusable bound
+// argument structs instead of fresh closures; the closure forms (For,
+// Reduce) remain for cold call sites and cost one adapter allocation when
+// a region actually goes parallel.
+//
 // The pool is process-wide and shared by all goroutine ranks: concurrent
 // For/Reduce calls from different ranks interleave their chunks over the
 // same workers. Each calling rank also executes chunks itself, so R ranks
@@ -39,13 +47,42 @@ import (
 	"sync/atomic"
 )
 
-// job is one parallel region: a chunk-indexed function plus the bookkeeping
-// that lets any number of workers claim chunks until none remain.
+// Task is a parallel-region body bound to its arguments. Implementations
+// are typically small structs owned by the caller (a layer, or a pool in
+// the tensor package) and reused across calls, so dispatching a region
+// does not allocate a closure.
+type Task interface {
+	// Run processes indices [lo, hi). It may be called concurrently on
+	// disjoint ranges.
+	Run(lo, hi int)
+}
+
+// Reducer is a chunked-reduction body bound to its arguments, the
+// allocation-free counterpart of the Reduce closure pair.
+type Reducer interface {
+	// Body accumulates the contribution of rows [lo, hi) into acc, a
+	// private zeroed accumulator. It may be called concurrently on
+	// disjoint ranges with distinct accumulators.
+	Body(lo, hi int, acc []float64)
+	// Merge folds one accumulator into the caller's destination. Merge
+	// calls are sequential, in ascending chunk order, on the calling
+	// goroutine.
+	Merge(acc []float64)
+}
+
+// job is one parallel region: a Task plus the chunk geometry and the
+// bookkeeping that lets any number of workers claim chunks until none
+// remain. Jobs are pooled; refs counts the caller plus every queued
+// ticket, and the job returns to the pool only when all of them are done,
+// so reuse can never race a late-arriving worker.
 type job struct {
-	fn      func(chunk int)
+	task    Task
+	chunk   int
+	n       int
 	chunks  int32
 	next    atomic.Int32
 	pending atomic.Int32
+	refs    atomic.Int32
 	done    chan struct{}
 }
 
@@ -57,10 +94,23 @@ func (j *job) run() {
 		if c >= j.chunks {
 			return
 		}
-		j.fn(int(c))
-		if j.pending.Add(-1) == 0 {
-			close(j.done)
+		lo := int(c) * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
 		}
+		j.task.Run(lo, hi)
+		if j.pending.Add(-1) == 0 {
+			j.done <- struct{}{}
+		}
+	}
+}
+
+// release drops one reference; the last holder recycles the job.
+func (j *job) release() {
+	if j.refs.Add(-1) == 0 {
+		j.task = nil
+		jobPool.Put(j)
 	}
 }
 
@@ -78,6 +128,12 @@ var (
 	workerMu  sync.Mutex
 	workers   int
 	queueOnce sync.Once
+
+	// jobPool recycles job descriptors (with their reusable completion
+	// channels) between parallel regions.
+	jobPool = sync.Pool{New: func() any {
+		return &job{done: make(chan struct{}, 1)}
+	}}
 )
 
 func initQueue() {
@@ -95,6 +151,7 @@ func ensureWorkers(n int) {
 		go func() {
 			for j := range queue {
 				j.run()
+				j.release()
 			}
 		}()
 		workers++
@@ -146,99 +203,140 @@ func Configure(threads int, deterministic bool) {
 // runJob executes a chunked region with up to t participants. The caller
 // always participates, so the region completes even if every pool worker
 // is busy with other ranks' jobs.
-func runJob(chunks, t int, fn func(chunk int)) {
-	j := &job{fn: fn, chunks: int32(chunks), done: make(chan struct{})}
-	j.pending.Store(int32(chunks))
+func runJob(n, chunk, numChunks, t int, task Task) {
+	j := jobPool.Get().(*job)
+	j.task = task
+	j.chunk = chunk
+	j.n = n
+	j.chunks = int32(numChunks)
+	j.next.Store(0)
+	j.pending.Store(int32(numChunks))
 	tickets := t - 1
-	if tickets > chunks-1 {
-		tickets = chunks - 1
+	if tickets > numChunks-1 {
+		tickets = numChunks - 1
 	}
+	// References must cover every ticket before it is offered, so a worker
+	// finishing instantly cannot drop the count to zero while the caller
+	// still runs; unoffered tickets are refunded below.
+	j.refs.Store(int32(tickets) + 1)
 	initQueue()
+	issued := 0
 offer:
 	for i := 0; i < tickets; i++ {
 		select {
 		case queue <- j:
+			issued++
 		default:
 			// Queue saturated: every worker already has work queued up;
 			// the caller and whoever picked up earlier tickets finish it.
 			break offer
 		}
 	}
+	if issued < tickets {
+		j.refs.Add(int32(issued - tickets))
+	}
 	j.run()
 	<-j.done
+	j.release()
 }
 
-// For runs fn over disjoint index ranges covering [0, n). grain is the
-// minimum chunk length; the engine may enlarge chunks to keep per-chunk
-// overhead negligible. Each index lands in exactly one chunk, so the
-// result is independent of both chunking and scheduling — For is safe for
-// any kernel whose iterations write disjoint outputs.
+// chunkFor returns the For chunk length: at least grain, enlarged so each
+// participant sees ~4 chunks for straggler rebalancing.
+func chunkFor(n, grain, t int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	chunk := grain
+	if c := (n + 4*t - 1) / (4 * t); c > chunk {
+		chunk = c
+	}
+	return chunk
+}
+
+// ForTask runs task over disjoint index ranges covering [0, n). grain is
+// the minimum chunk length; the engine may enlarge chunks to keep
+// per-chunk overhead negligible. Each index lands in exactly one chunk, so
+// the result is independent of both chunking and scheduling — safe for any
+// kernel whose iterations write disjoint outputs. Dispatch performs no
+// heap allocation.
+func ForTask(n, grain int, task Task) {
+	if n <= 0 {
+		return
+	}
+	t := loadThreads()
+	chunk := chunkFor(n, grain, t)
+	numChunks := (n + chunk - 1) / chunk
+	if t == 1 || numChunks == 1 {
+		task.Run(0, n)
+		return
+	}
+	runJob(n, chunk, numChunks, t, task)
+}
+
+// funcTask adapts the closure form onto Task for the cold-path For.
+type funcTask struct{ fn func(lo, hi int) }
+
+func (t *funcTask) Run(lo, hi int) { t.fn(lo, hi) }
+
+// For is the closure form of ForTask, kept for call sites outside the
+// zero-allocation hot path (it allocates one small adapter when the
+// region actually goes parallel).
 func For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if grain < 1 {
-		grain = 1
-	}
 	t := loadThreads()
-	chunk := grain
-	// Aim for ~4 chunks per participant so stragglers rebalance.
-	if c := (n + 4*t - 1) / (4 * t); c > chunk {
-		chunk = c
-	}
+	chunk := chunkFor(n, grain, t)
 	numChunks := (n + chunk - 1) / chunk
 	if t == 1 || numChunks == 1 {
 		fn(0, n)
 		return
 	}
-	runJob(numChunks, t, func(c int) {
-		lo := c * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		fn(lo, hi)
-	})
+	runJob(n, chunk, numChunks, t, &funcTask{fn: fn})
 }
 
-// bufPool recycles partial accumulators between Reduce calls.
+// bufPool recycles partial accumulators between reductions. It traffics in
+// stable *[]float64 boxes so Put never re-boxes (and never allocates).
 var bufPool sync.Pool
 
-func getBuf(n int) []float64 {
+func getBuf(n int) *[]float64 {
 	if v := bufPool.Get(); v != nil {
-		b := *(v.(*[]float64))
-		if cap(b) >= n {
-			b = b[:n]
-			for i := range b {
-				b[i] = 0
-			}
-			return b
+		p := v.(*[]float64)
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			clear(*p)
+			return p
 		}
 	}
-	return make([]float64, n)
+	b := make([]float64, n)
+	return &b
 }
 
-func putBuf(b []float64) {
-	bufPool.Put(&b)
+func putBuf(p *[]float64) { bufPool.Put(p) }
+
+// reduceRun carries one parallel reduction: the Reducer plus the partial
+// accumulator table indexed by chunk. Pooled so ReduceWith allocates
+// nothing in steady state.
+type reduceRun struct {
+	r        Reducer
+	accLen   int
+	chunk    int
+	partials []*[]float64
 }
 
-// Reduce performs a chunked reduction over [0, n). body accumulates the
-// contribution of rows [lo, hi) into its private, zeroed accumulator of
-// length accLen; merge folds accumulators into the caller's destination
-// and is invoked sequentially in ascending chunk order.
-//
-// In deterministic mode the chunk structure is ceil(n/grain) regardless of
-// the thread count, so the summation tree — and hence every output bit —
-// is a function of (n, grain, accLen, data) alone. grain must therefore be
-// derived from problem shape only, never from Threads().
-func Reduce(n, grain, accLen int, body func(lo, hi int, acc []float64), merge func(acc []float64)) {
-	if n <= 0 {
-		return
-	}
+func (rr *reduceRun) Run(lo, hi int) {
+	p := getBuf(rr.accLen)
+	rr.r.Body(lo, hi, *p)
+	rr.partials[lo/rr.chunk] = p
+}
+
+var reducePool = sync.Pool{New: func() any { return new(reduceRun) }}
+
+// reduceChunk returns the Reduce chunk length under the active mode.
+func reduceChunk(n, grain, t int) int {
 	if grain < 1 {
 		grain = 1
 	}
-	t := loadThreads()
 	chunk := grain
 	if nonDeterministic.Load() {
 		// Relaxed mode: one chunk per participant when that is coarser.
@@ -246,43 +344,101 @@ func Reduce(n, grain, accLen int, body func(lo, hi int, acc []float64), merge fu
 			chunk = c
 		}
 	}
-	numChunks := (n + chunk - 1) / chunk
-	if t == 1 || numChunks == 1 {
-		// Sequential execution of the identical chunk schedule: partials
-		// are formed and merged in the same order as the parallel path,
-		// so the two are bitwise interchangeable.
-		acc := getBuf(accLen)
-		for c := 0; c < numChunks; c++ {
-			lo := c * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if c > 0 {
-				for i := range acc {
-					acc[i] = 0
-				}
-			}
-			body(lo, hi, acc)
-			merge(acc)
-		}
-		putBuf(acc)
+	return chunk
+}
+
+// ReduceWith performs a chunked reduction over [0, n) via a bound Reducer:
+// Body accumulates the contribution of rows [lo, hi) into a private,
+// zeroed accumulator of length accLen; Merge folds accumulators into the
+// caller's destination and is invoked sequentially in ascending chunk
+// order. Dispatch performs no heap allocation in steady state.
+//
+// In deterministic mode the chunk structure is ceil(n/grain) regardless of
+// the thread count, so the summation tree — and hence every output bit —
+// is a function of (n, grain, accLen, data) alone. grain must therefore be
+// derived from problem shape only, never from Threads().
+func ReduceWith(n, grain, accLen int, r Reducer) {
+	if n <= 0 {
 		return
 	}
-	partials := make([][]float64, numChunks)
-	runJob(numChunks, t, func(c int) {
-		acc := getBuf(accLen)
+	t := loadThreads()
+	chunk := reduceChunk(n, grain, t)
+	numChunks := (n + chunk - 1) / chunk
+	if t == 1 || numChunks == 1 {
+		reduceSerial(n, chunk, numChunks, accLen, r.Body, r.Merge)
+		return
+	}
+	reduceParallel(n, chunk, numChunks, t, accLen, r)
+}
+
+// reduceParallel runs the chunked reduction on the worker pool through a
+// pooled reduceRun, merging partials in ascending chunk order on the
+// calling goroutine.
+func reduceParallel(n, chunk, numChunks, t, accLen int, r Reducer) {
+	rr := reducePool.Get().(*reduceRun)
+	if cap(rr.partials) < numChunks {
+		rr.partials = make([]*[]float64, numChunks)
+	}
+	rr.partials = rr.partials[:numChunks]
+	rr.r = r
+	rr.accLen = accLen
+	rr.chunk = chunk
+	runJob(n, chunk, numChunks, t, rr)
+	for c := 0; c < numChunks; c++ {
+		p := rr.partials[c]
+		r.Merge(*p)
+		putBuf(p)
+		rr.partials[c] = nil
+	}
+	rr.r = nil
+	reducePool.Put(rr)
+}
+
+// reduceSerial executes the reduction's chunk schedule sequentially:
+// partials are formed and merged in the same order as the parallel path,
+// so the two are bitwise interchangeable.
+func reduceSerial(n, chunk, numChunks, accLen int, body func(lo, hi int, acc []float64), merge func(acc []float64)) {
+	p := getBuf(accLen)
+	acc := *p
+	for c := 0; c < numChunks; c++ {
 		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
+		if c > 0 {
+			clear(acc)
+		}
 		body(lo, hi, acc)
-		partials[c] = acc
-	})
-	// Fixed-order merge: ascending chunk index, on the calling goroutine.
-	for _, acc := range partials {
 		merge(acc)
-		putBuf(acc)
 	}
+	putBuf(p)
+}
+
+// funcReducer adapts the closure pair onto Reducer for the cold-path
+// Reduce.
+type funcReducer struct {
+	body  func(lo, hi int, acc []float64)
+	merge func(acc []float64)
+}
+
+func (fr *funcReducer) Body(lo, hi int, acc []float64) { fr.body(lo, hi, acc) }
+func (fr *funcReducer) Merge(acc []float64)            { fr.merge(acc) }
+
+// Reduce is the closure form of ReduceWith, kept for call sites outside
+// the zero-allocation hot path. Like For, it takes the serial shortcut
+// before constructing the adapter, so it allocates only when the region
+// actually goes parallel.
+func Reduce(n, grain, accLen int, body func(lo, hi int, acc []float64), merge func(acc []float64)) {
+	if n <= 0 {
+		return
+	}
+	t := loadThreads()
+	chunk := reduceChunk(n, grain, t)
+	numChunks := (n + chunk - 1) / chunk
+	if t == 1 || numChunks == 1 {
+		reduceSerial(n, chunk, numChunks, accLen, body, merge)
+		return
+	}
+	reduceParallel(n, chunk, numChunks, t, accLen, &funcReducer{body: body, merge: merge})
 }

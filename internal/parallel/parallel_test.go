@@ -229,3 +229,105 @@ func TestNonDeterministicModeStillCorrect(t *testing.T) {
 		t.Fatalf("got %v want %v", got, want)
 	}
 }
+
+// countTask records visits per index through the Task interface.
+type countTask struct{ visits []int32 }
+
+func (t *countTask) Run(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&t.visits[i], 1)
+	}
+}
+
+// TestForTaskCoversRangeOnce mirrors the closure-form coverage test for
+// the allocation-free Task API.
+func TestForTaskCoversRangeOnce(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			task := &countTask{visits: make([]int32, n)}
+			withThreads(t, threads, func() {
+				ForTask(n, 4, task)
+			})
+			for i, v := range task.visits {
+				if v != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// sumReducer sums data[lo:hi] through the Reducer interface.
+type sumReducer struct {
+	data  []float64
+	total float64
+}
+
+func (r *sumReducer) Body(lo, hi int, acc []float64) {
+	for i := lo; i < hi; i++ {
+		acc[0] += r.data[i]
+	}
+}
+
+func (r *sumReducer) Merge(acc []float64) { r.total += acc[0] }
+
+// TestReduceWithBitwiseMatchesReduce pins the Reducer form against the
+// closure form bit-for-bit across thread counts.
+func TestReduceWithBitwiseMatchesReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 4321
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * float64(int64(1)<<uint(rng.Intn(40)))
+	}
+	var ref float64
+	withThreads(t, 1, func() {
+		Reduce(n, 64, 1, func(lo, hi int, acc []float64) {
+			for i := lo; i < hi; i++ {
+				acc[0] += data[i]
+			}
+		}, func(acc []float64) { ref += acc[0] })
+	})
+	for _, threads := range []int{1, 2, 8} {
+		r := &sumReducer{data: data}
+		withThreads(t, threads, func() {
+			ReduceWith(n, 64, 1, r)
+		})
+		if r.total != ref {
+			t.Fatalf("threads=%d: ReduceWith %x != Reduce %x", threads, r.total, ref)
+		}
+	}
+}
+
+// TestTaskDispatchZeroAlloc asserts the pooled dispatch machinery itself
+// performs no steady-state allocation, serial and parallel.
+func TestTaskDispatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	task := &countTask{visits: make([]int32, 4096)}
+	r := &sumReducer{data: make([]float64, 4096)}
+	for _, threads := range []int{1, 4} {
+		withThreads(t, threads, func() {
+			run := func() {
+				ForTask(len(task.visits), 16, task)
+				ReduceWith(len(r.data), 16, 8, r)
+			}
+			for i := 0; i < 5; i++ {
+				run() // warm the pools
+			}
+			n := testing.AllocsPerRun(20, run)
+			// The serial path must be exactly zero. The parallel path is
+			// bounded per *region*, not per element: sync.Pool misses and
+			// — on starved hosts (AllocsPerRun pins GOMAXPROCS to 1) —
+			// tickets outliving their region keep a job from being pooled
+			// in time, costing a fresh descriptor.
+			if threads == 1 && n != 0 {
+				t.Errorf("threads=1 dispatch allocates %v times", n)
+			}
+			if threads > 1 && n > 8 {
+				t.Errorf("threads=%d dispatch allocates %v times", threads, n)
+			}
+		})
+	}
+}

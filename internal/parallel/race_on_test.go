@@ -1,0 +1,7 @@
+//go:build race
+
+package parallel
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation assertions are skipped.
+const raceEnabled = true

@@ -50,10 +50,34 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // Zero sets every entry of m to zero.
-func (m *Matrix) Zero() {
-	for i := range m.Data {
-		m.Data[i] = 0
+func (m *Matrix) Zero() { clear(m.Data) }
+
+// View is a window onto a contiguous block of columns of a backing
+// matrix: columns [off, off+Cols) of every row, sharing storage with the
+// parent. Views are small values (no heap allocation) and let kernels
+// consume a column slice of a wide matrix — e.g. one logical output of a
+// fused HCat gradient — without materializing a copy.
+type View struct {
+	Rows, Cols  int
+	off, stride int
+	data        []float64
+}
+
+// View returns the window onto columns [off, off+cols) of m.
+func (m *Matrix) View(off, cols int) View {
+	if off < 0 || cols < 0 || off+cols > m.Cols {
+		panic(fmt.Sprintf("tensor: View columns [%d,%d) outside 0..%d", off, off+cols, m.Cols))
 	}
+	return View{Rows: m.Rows, Cols: cols, off: off, stride: m.Cols, data: m.Data}
+}
+
+// Full returns the view spanning all of m.
+func (m *Matrix) Full() View { return m.View(0, m.Cols) }
+
+// Row returns the i-th row of the view, aliasing the parent's storage.
+func (v View) Row(i int) []float64 {
+	base := i*v.stride + v.off
+	return v.data[base : base+v.Cols]
 }
 
 // CopyFrom copies src into m; dimensions must match.
