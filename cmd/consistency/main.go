@@ -10,14 +10,29 @@
 // The paper uses a 32³-element p=1 cubic mesh and R up to 64; the default
 // here is 16³ to keep single-host runs quick. Pass -elems 32 for the full
 // configuration.
+//
+// A second mode extends the consistency claim across the process
+// boundary. With -transport=both the same seeded training runs twice —
+// once on R goroutine ranks over the in-process channel fabric, once on R
+// separate OS processes over the socket transport (-procs, default 4) —
+// and the per-step losses, final parameters, and serialized checkpoints
+// are compared bit for bit. The command exits non-zero on any deviation:
+//
+//	consistency -transport=both [-procs 4] [-elems 4] [-p 1] [-iters 20]
+//
+// -transport=inproc or -transport=procs runs just one side and prints its
+// loss trace (useful for debugging a transport in isolation).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
+	"meshgnn"
 	"meshgnn/internal/experiments"
 	"meshgnn/internal/gnn"
 )
@@ -26,20 +41,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("consistency: ")
 	var (
-		elems = flag.Int("elems", 16, "elements per axis of the cubic mesh (paper: 32)")
-		p     = flag.Int("p", 1, "polynomial order (paper: 1)")
-		rmax  = flag.Int("rmax", 64, "largest rank count (powers of two from 2)")
-		train = flag.Bool("train", false, "also run the Fig. 6 (right) training comparison")
-		iters = flag.Int("iters", 200, "training iterations for -train (paper: 1500)")
-		rT    = flag.Int("rtrain", 8, "rank count for the training comparison (paper: 8)")
-		model = flag.String("model", "small", "model configuration: small or large")
-		lr    = flag.Float64("lr", 1e-3, "Adam learning rate for -train")
+		elems     = flag.Int("elems", 16, "elements per axis of the cubic mesh (paper: 32)")
+		p         = flag.Int("p", 1, "polynomial order (paper: 1)")
+		rmax      = flag.Int("rmax", 64, "largest rank count (powers of two from 2)")
+		train     = flag.Bool("train", false, "also run the Fig. 6 (right) training comparison")
+		iters     = flag.Int("iters", 200, "training iterations for -train (paper: 1500)")
+		rT        = flag.Int("rtrain", 8, "rank count for the training comparison (paper: 8)")
+		model     = flag.String("model", "small", "model configuration: small or large")
+		lr        = flag.Float64("lr", 1e-3, "Adam learning rate for -train")
+		transport = flag.String("transport", "", "cross-transport check: inproc, procs, or both")
+		procs     = flag.Int("procs", 4, "rank/process count for -transport")
+		modeFlag  = flag.String("mode", "na2a", "halo exchange for -transport: a2a, na2a, sendrecv")
 	)
 	flag.Parse()
 
 	cfg, err := configByName(*model)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *transport != "" {
+		runTransportCheck(*transport, *procs, *elems, *p, *iters, *lr, *modeFlag, cfg)
+		return
 	}
 
 	var rs []int
@@ -65,6 +88,181 @@ func main() {
 		experiments.RenderFig6Right(os.Stdout, res, 12)
 		fmt.Println("\nThe consistent curve retraces the R=1 optimization; the standard curve drifts.")
 	}
+}
+
+// runArtifacts is everything rank 0 keeps from one seeded training run
+// for the bitwise comparison.
+type runArtifacts struct {
+	losses     []float64
+	modelBytes []byte // SaveModel: architecture + final parameters
+	ckptBytes  []byte // SaveTrainingState: model + optimizer moments + step
+}
+
+// runTransportCheck trains the same seeded model on the selected
+// transports and asserts the trajectories are bitwise identical: the
+// paper's consistency property must survive the process boundary, not
+// just the partitioning.
+func runTransportCheck(which string, procs, elems, p, iters int, lr float64, modeName string, cfg meshgnn.Config) {
+	switch which {
+	case "inproc", "procs", "both":
+	default:
+		log.Fatalf("unknown -transport %q (want inproc, procs, or both)", which)
+	}
+	if iters < 1 {
+		log.Fatalf("-iters must be >= 1 for -transport, got %d", iters)
+	}
+	mode, err := parseMode(modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := meshgnn.NewMesh(elems, elems, elems, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, procs, meshgnn.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The seeded training every rank executes. Model init, data, and
+	// shuffling derive from fixed seeds, so process ranks reconstruct the
+	// identical state without any out-of-band exchange.
+	field := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	run := func(kind meshgnn.TransportKind) (runArtifacts, error) {
+		var art runArtifacts
+		err := sys.RunOn(kind, mode, func(r *meshgnn.Rank) error {
+			mdl, err := meshgnn.NewModel(cfg)
+			if err != nil {
+				return err
+			}
+			trainer := meshgnn.NewTrainer(mdl, meshgnn.NewAdam(lr))
+			x := r.Sample(field, 0)
+			losses := make([]float64, 0, iters)
+			for it := 0; it < iters; it++ {
+				losses = append(losses, trainer.Step(r.Ctx, x, x))
+			}
+			if r.ID() != 0 {
+				return nil
+			}
+			art.losses = losses
+			var mb, cb bytes.Buffer
+			if err := meshgnn.SaveModel(&mb, mdl); err != nil {
+				return err
+			}
+			if err := meshgnn.SaveTrainingState(&cb, trainer); err != nil {
+				return err
+			}
+			art.modelBytes = mb.Bytes()
+			art.ckptBytes = cb.Bytes()
+			return nil
+		})
+		return art, err
+	}
+
+	// A re-exec'd worker only participates in the socket run; the
+	// coordinator owns the in-process run and the comparison.
+	if meshgnn.IsWorker() {
+		if _, err := run(meshgnn.Processes); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("cross-transport consistency: %d^3-element p=%d mesh, R=%d, %s exchange, %s model, %d iterations\n",
+		elems, p, procs, mode, cfg.Name, iters)
+
+	var inproc, sock runArtifacts
+	haveIn, haveSock := false, false
+	if which == "inproc" || which == "both" {
+		if inproc, err = run(meshgnn.InProcess); err != nil {
+			log.Fatal(err)
+		}
+		haveIn = true
+		fmt.Printf("  in-process ranks : final loss %.12g after %d steps\n",
+			inproc.losses[len(inproc.losses)-1], len(inproc.losses))
+	}
+	if which == "procs" || which == "both" {
+		if sock, err = run(meshgnn.Processes); err != nil {
+			log.Fatal(err)
+		}
+		haveSock = true
+		fmt.Printf("  socket processes : final loss %.12g after %d steps\n",
+			sock.losses[len(sock.losses)-1], len(sock.losses))
+	}
+	if !haveIn || !haveSock {
+		return // single-transport debugging run: the trace above is the output
+	}
+
+	lossDiff, lossBits := maxAbsDiff(inproc.losses, sock.losses)
+	paramDiff, paramBits := compareModels(inproc.modelBytes, sock.modelBytes)
+	ckptEqual := bytes.Equal(inproc.ckptBytes, sock.ckptBytes)
+
+	fmt.Printf("\nmax |Δ| losses      = %g (%d differing bit patterns of %d)\n",
+		lossDiff, lossBits, len(inproc.losses))
+	fmt.Printf("max |Δ| parameters  = %g (%d differing bit patterns)\n", paramDiff, paramBits)
+	fmt.Printf("checkpoint bytes    : %d vs %d, identical=%v\n",
+		len(inproc.ckptBytes), len(sock.ckptBytes), ckptEqual)
+
+	if lossBits != 0 || paramBits != 0 || !ckptEqual {
+		log.Fatal("TRANSPORT INCONSISTENCY: in-process and socket-process runs diverged")
+	}
+	fmt.Println("\nin-process and socket-process training are bitwise identical (losses, parameters, checkpoints).")
+}
+
+// maxAbsDiff returns the largest |a-b| and the count of elements whose
+// float64 bit patterns differ (so opposite-sign NaNs or -0 vs +0 cannot
+// hide behind a zero numeric difference).
+func maxAbsDiff(a, b []float64) (float64, int) {
+	if len(a) != len(b) {
+		return math.Inf(1), len(a) + len(b)
+	}
+	var maxD float64
+	bits := 0
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			bits++
+		}
+		if d := math.Abs(a[i] - b[i]); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, bits
+}
+
+// compareModels decodes two serialized models and compares every
+// parameter tensor element-wise.
+func compareModels(a, b []byte) (float64, int) {
+	ma, errA := meshgnn.LoadModel(bytes.NewReader(a))
+	mb, errB := meshgnn.LoadModel(bytes.NewReader(b))
+	if errA != nil || errB != nil {
+		log.Fatalf("decoding checkpoints for comparison: %v / %v", errA, errB)
+	}
+	pa, pb := ma.Params(), mb.Params()
+	if len(pa) != len(pb) {
+		return math.Inf(1), len(pa) + len(pb)
+	}
+	var maxD float64
+	bits := 0
+	for i := range pa {
+		d, n := maxAbsDiff(pa[i].W.Data, pb[i].W.Data)
+		if d > maxD {
+			maxD = d
+		}
+		bits += n
+	}
+	return maxD, bits
+}
+
+func parseMode(s string) (meshgnn.ExchangeMode, error) {
+	switch s {
+	case "a2a":
+		return meshgnn.AllToAll, nil
+	case "na2a":
+		return meshgnn.NeighborAllToAll, nil
+	case "sendrecv":
+		return meshgnn.SendRecv, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
 func configByName(name string) (gnn.Config, error) {

@@ -13,6 +13,12 @@
 // Usage:
 //
 //	scaling [-measured] [-rmax 2048] [-iters 3] [-calibrate]
+//
+// A third tier runs the measured trainer with real OS-process ranks over
+// the socket transport (-procs N): the command re-execs itself once per
+// worker rank (MESHGNN_RANK/MESHGNN_WORLD environment), rank 0
+// coordinates, and the row reports wall time plus exact per-iteration
+// traffic crossing the process boundary.
 package main
 
 import (
@@ -44,12 +50,19 @@ func main() {
 		reduced   = flag.Bool("reduced", false, "also report the reduced-graph (coincident collapse) ablation")
 		threads   = flag.Int("threads", 0, "intra-rank worker threads per kernel (0 = GOMAXPROCS, 1 = serial)")
 		det       = flag.Bool("deterministic", true, "fixed-schedule reductions: results bitwise-identical for any -threads")
+		procs     = flag.Int("procs", 0, "measure one point with this many OS-process ranks over sockets")
+		procMode  = flag.String("procmode", "na2a", "halo exchange for -procs: none, a2a, na2a, sendrecv")
 	)
 	flag.Parse()
 	if *threads < 0 {
 		log.Fatalf("-threads must be >= 0, got %d", *threads)
 	}
 	parallel.Configure(*threads, *det)
+
+	if *procs > 0 {
+		runProcs(*p, *elems, *procs, *procMode, *iters)
+		return
+	}
 
 	fmt.Println("Table I: GNN model settings")
 	fmt.Println()
@@ -110,6 +123,28 @@ func main() {
 		}
 		experiments.RenderReducedGraph(os.Stdout, rg)
 	}
+}
+
+// runProcs measures one weak-scaling point with real OS-process ranks:
+// this process coordinates as rank 0 and re-execs itself for the workers.
+func runProcs(p, elems, procs int, modeName string, iters int) {
+	mode, err := comm.ParseExchangeMode(modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker := comm.IsWorker()
+	if !worker {
+		fmt.Printf("\nFig. 7 (process tier): %d OS-process ranks over sockets, %d^3 elements/rank, p=%d, %s exchange, %d iters\n\n",
+			procs, elems, p, mode, iters)
+	}
+	pt, err := experiments.MeasuredProcs(p, elems, procs, gnn.SmallConfig(), mode, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if worker {
+		return
+	}
+	experiments.RenderMeasured(os.Stdout, []experiments.MeasuredPoint{pt})
 }
 
 // runMeasured executes the real distributed trainer across rank counts

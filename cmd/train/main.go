@@ -1,7 +1,13 @@
 // Command train runs distributed-data-parallel training of a consistent
 // mesh-based GNN on an analytic flow snapshot — the end-to-end workflow
-// of the paper's Fig. 1 on a single host, with goroutine ranks standing
-// in for MPI ranks.
+// of the paper's Fig. 1 on a single host.
+//
+// Ranks are goroutines by default (-ranks N). With -procs N every rank is
+// its own OS process: the command re-execs itself once per worker rank
+// with the MESHGNN_RANK/MESHGNN_WORLD environment set, rank 0 coordinates
+// in the launching process, and all ranks exchange halo and gradient
+// traffic over Unix-domain sockets. The deterministic collectives make
+// both modes produce bitwise-identical losses and parameters.
 //
 // The task maps the field at time t0 to the field at time t1 (set
 // -t1 equal to -t0 for the paper's autoencoding demonstration). Training
@@ -9,7 +15,7 @@
 //
 // Usage:
 //
-//	train [-elems 8] [-p 2] [-ranks 8] [-mode na2a] [-model small]
+//	train [-elems 8] [-p 2] [-ranks 8 | -procs 8] [-mode na2a] [-model small]
 //	      [-field tgv] [-iters 100] [-lr 1e-3] [-verify]
 package main
 
@@ -29,7 +35,8 @@ func main() {
 	var (
 		elems    = flag.Int("elems", 8, "elements per axis")
 		p        = flag.Int("p", 2, "polynomial order")
-		ranks    = flag.Int("ranks", 8, "number of ranks")
+		ranks    = flag.Int("ranks", 8, "number of goroutine ranks")
+		procs    = flag.Int("procs", 0, "run this many OS-process ranks over sockets (overrides -ranks)")
 		modeFlag = flag.String("mode", "na2a", "halo exchange: none, a2a, na2a, sendrecv")
 		model    = flag.String("model", "small", "model configuration: small or large")
 		fieldSel = flag.String("field", "tgv", "training data: tgv, shear, pulse")
@@ -50,10 +57,28 @@ func main() {
 	if *threads < 0 {
 		log.Fatalf("-threads must be >= 0, got %d", *threads)
 	}
+	if *procs < 0 {
+		log.Fatalf("-procs must be >= 0, got %d", *procs)
+	}
 	meshgnn.SetParallelism(*threads, *det)
 	mode, err := parseMode(*modeFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	transport := meshgnn.InProcess
+	nRanks := *ranks
+	if *procs > 0 {
+		transport = meshgnn.Processes
+		nRanks = *procs
+	}
+	// A -procs worker re-executes this entire command line; it must stay
+	// silent (the coordinator owns stdout) and skip coordinator-only
+	// work, but follow the identical setup path so all ranks agree.
+	worker := meshgnn.IsWorker()
+	say := func(format string, args ...any) {
+		if !worker {
+			fmt.Printf(format, args...)
+		}
 	}
 	cfg := meshgnn.SmallConfig()
 	if *model == "large" {
@@ -72,20 +97,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := meshgnn.NewSystem(m, *ranks, meshgnn.Blocks)
+	sys, err := meshgnn.NewSystem(m, nRanks, meshgnn.Blocks)
 	if err != nil {
 		log.Fatal(err)
 	}
 	effThreads, _ := meshgnn.Parallelism()
-	fmt.Printf("mesh %d^3 elements p=%d (%d nodes), %d ranks, %s exchange, %s model (%d params), %d intra-rank threads\n",
-		*elems, *p, m.NumNodes(), *ranks, mode, cfg.Name, cfg.ParamCount(), effThreads)
+	say("mesh %d^3 elements p=%d (%d nodes), %d ranks (%s transport), %s exchange, %s model (%d params), %d intra-rank threads\n",
+		*elems, *p, m.NumNodes(), nRanks, transport, mode, cfg.Name, cfg.ParamCount(), effThreads)
 
-	if *verify {
+	if *verify && !worker {
 		diff, err := meshgnn.VerifyConsistency(sys, cfg, mode, f, *t0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Eq. 2 consistency check: max |Y(R=%d) - Y(R=1)| = %.3g\n", *ranks, diff)
+		say("Eq. 2 consistency check: max |Y(R=%d) - Y(R=1)| = %.3g\n", nRanks, diff)
 	}
 
 	var checkpoint []byte
@@ -94,14 +119,15 @@ func main() {
 		if checkpoint, err = os.ReadFile(*loadFrom); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("initialized from checkpoint %s (%d bytes)\n", *loadFrom, len(checkpoint))
+		say("initialized from checkpoint %s (%d bytes)\n", *loadFrom, len(checkpoint))
 	}
 
-	type result struct {
-		curve []float64
-		saved []byte
-	}
-	results, err := meshgnn.RunCollect(sys, mode, func(r *meshgnn.Rank) (result, error) {
+	// Rank 0 always runs in this process (both transports), so capturing
+	// its results in the closure works across goroutine and process
+	// ranks alike.
+	var curve []float64
+	var saved []byte
+	err = sys.RunOn(transport, mode, func(r *meshgnn.Rank) error {
 		var mdl *meshgnn.Model
 		var err error
 		if checkpoint != nil {
@@ -110,7 +136,7 @@ func main() {
 			mdl, err = meshgnn.NewModel(cfg)
 		}
 		if err != nil {
-			return result{}, err
+			return err
 		}
 		trainer := meshgnn.NewTrainer(mdl, meshgnn.NewAdam(*lr))
 		var ds meshgnn.Dataset
@@ -121,28 +147,31 @@ func main() {
 			NoiseSigma:  *noise,
 			NoiseSeed:   2,
 		})
-		var res result
-		res.curve = epochLosses
-		if r.ID() == 0 && *saveTo != "" {
+		if r.ID() != 0 {
+			return nil
+		}
+		curve = epochLosses
+		if *saveTo != "" {
 			var buf bytes.Buffer
 			if err := meshgnn.SaveModel(&buf, mdl); err != nil {
-				return result{}, err
+				return err
 			}
-			res.saved = buf.Bytes()
+			saved = buf.Bytes()
 		}
-		return res, nil
+		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if worker {
+		return // the coordinator reports
+	}
 	if *saveTo != "" {
-		if err := os.WriteFile(*saveTo, results[0].saved, 0o644); err != nil {
+		if err := os.WriteFile(*saveTo, saved, 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("checkpoint written to %s (%d bytes)\n", *saveTo, len(results[0].saved))
+		say("checkpoint written to %s (%d bytes)\n", *saveTo, len(saved))
 	}
-	losses := [][]float64{results[0].curve}
-	curve := losses[0]
 	step := len(curve) / 10
 	if step == 0 {
 		step = 1

@@ -1,0 +1,177 @@
+// Package cmdtest smoke-tests the cmd/ binaries end to end: each is
+// compiled with the local toolchain and run on a tiny mesh, including the
+// -procs multi-process launcher path and the cross-transport consistency
+// harness (the CI assertion behind the paper's consistency claim holding
+// across the process boundary).
+package cmdtest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binaries compiled for the smoke tests.
+var commands = []string{"train", "scaling", "consistency", "meshinfo"}
+
+// build compiles the cmd binaries once per test process.
+func build(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "meshgnn-cmdtest-")
+		if buildErr != nil {
+			return
+		}
+		for _, name := range commands {
+			cmd := exec.Command("go", "build", "-o",
+				filepath.Join(buildDir, name), "./cmd/"+name)
+			cmd.Dir = moduleRoot()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = &buildFailure{name: name, out: string(out), err: err}
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildDir
+}
+
+type buildFailure struct {
+	name string
+	out  string
+	err  error
+}
+
+func (b *buildFailure) Error() string {
+	return "building cmd/" + b.name + ": " + b.err.Error() + "\n" + b.out
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}
+
+// runCmd executes one built binary and returns its combined output.
+func runCmd(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(build(t), name)
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = t.TempDir() // any dropped files land in scratch space
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestTrainSmoke(t *testing.T) {
+	out := runCmd(t, "train", "-elems", "2", "-p", "1", "-ranks", "2", "-iters", "2")
+	if !strings.Contains(out, "consistent-loss") || !strings.Contains(out, "final loss") {
+		t.Fatalf("unexpected train output:\n%s", out)
+	}
+}
+
+// TestTrainProcsLauncher exercises the -procs re-exec path: 2 OS-process
+// ranks over the socket transport, and checks the trajectory matches the
+// goroutine-rank run exactly (the loss table is printed to full
+// precision of its format, so textual equality is a real check).
+func TestTrainProcsLauncher(t *testing.T) {
+	argsCommon := []string{"-elems", "2", "-p", "1", "-iters", "3"}
+	inproc := runCmd(t, "train", append([]string{"-ranks", "2"}, argsCommon...)...)
+	procs := runCmd(t, "train", append([]string{"-procs", "2"}, argsCommon...)...)
+	tail := func(s string) string {
+		i := strings.Index(s, "iteration")
+		if i < 0 {
+			t.Fatalf("no loss table in output:\n%s", s)
+		}
+		return s[i:]
+	}
+	if tail(inproc) != tail(procs) {
+		t.Fatalf("-procs trajectory differs from -ranks:\n--- in-process:\n%s\n--- procs:\n%s",
+			tail(inproc), tail(procs))
+	}
+}
+
+func TestTrainSaveLoadCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "model.bin")
+	out := runCmd(t, "train", "-elems", "2", "-p", "1", "-ranks", "1", "-iters", "2", "-save", ckpt)
+	if !strings.Contains(out, "checkpoint written") {
+		t.Fatalf("no checkpoint confirmation:\n%s", out)
+	}
+	out = runCmd(t, "train", "-elems", "2", "-p", "1", "-ranks", "1", "-iters", "1", "-load", ckpt)
+	if !strings.Contains(out, "initialized from checkpoint") {
+		t.Fatalf("checkpoint not loaded:\n%s", out)
+	}
+}
+
+func TestScalingProjectedSmoke(t *testing.T) {
+	out := runCmd(t, "scaling", "-rmax", "8")
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "weak scaling") {
+		t.Fatalf("unexpected scaling output:\n%s", out)
+	}
+}
+
+func TestScalingProcsLauncher(t *testing.T) {
+	out := runCmd(t, "scaling", "-procs", "2", "-elems", "2", "-p", "2", "-iters", "1")
+	if !strings.Contains(out, "process tier") || !strings.Contains(out, "nodes/rank") {
+		t.Fatalf("unexpected scaling -procs output:\n%s", out)
+	}
+}
+
+// TestConsistencyCrossTransport is the CI assertion of the acceptance
+// criterion: a 4-rank in-process run and a 4-process socket run of the
+// same seeded training must agree bitwise on losses, parameters, and
+// checkpoints (max |Δ| == 0).
+func TestConsistencyCrossTransport(t *testing.T) {
+	out := runCmd(t, "consistency", "-transport=both", "-procs", "4",
+		"-elems", "2", "-p", "1", "-iters", "5")
+	for _, want := range []string{
+		"max |Δ| losses      = 0 (0 differing bit patterns",
+		"max |Δ| parameters  = 0 (0 differing bit patterns)",
+		"identical=true",
+		"bitwise identical",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("consistency -transport=both output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConsistencyFig6Smoke(t *testing.T) {
+	out := runCmd(t, "consistency", "-elems", "2", "-p", "1", "-rmax", "2")
+	if !strings.Contains(out, "Fig. 6 (left)") {
+		t.Fatalf("unexpected consistency output:\n%s", out)
+	}
+}
+
+func TestMeshinfoSmoke(t *testing.T) {
+	out := runCmd(t, "meshinfo", "-ex", "2", "-ey", "2", "-ez", "2", "-p", "1", "-ranks", "2")
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Fatal("meshinfo produced no output")
+	}
+}

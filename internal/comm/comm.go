@@ -1,13 +1,16 @@
-// Package comm provides an in-process SPMD communication runtime standing
-// in for MPI + collective libraries (NCCL/RCCL) in the paper's distributed
-// GNN workflow.
+// Package comm provides an SPMD communication runtime standing in for
+// MPI + collective libraries (NCCL/RCCL) in the paper's distributed GNN
+// workflow.
 //
-// Each rank runs in its own goroutine and communicates through buffered
-// point-to-point channels. Collectives are built on top of point-to-point
-// with a deterministic, rank-ordered reduction: the same inputs always
-// produce bitwise-identical results, which is what makes the paper's
-// consistency property (partitioned == unpartitioned arithmetic) testable
-// to machine precision.
+// Ranks talk through a pluggable Transport: the default in-process
+// channel fabric (each rank a goroutine), or a socket fabric where ranks
+// exchange length-prefixed binary frames over Unix-domain/TCP sockets and
+// may run as separate OS processes. Collectives are built on top of
+// point-to-point with a deterministic, rank-ordered reduction: the same
+// inputs always produce bitwise-identical results on every transport,
+// which is what makes the paper's consistency property (partitioned ==
+// unpartitioned arithmetic) testable to machine precision — including
+// across the process boundary.
 //
 // Every operation is instrumented with message and byte counters. The
 // counters feed the performance model that projects the measured kernel
@@ -57,7 +60,8 @@ type Stats struct {
 // BytesSent returns the total point-to-point payload volume in bytes.
 func (s *Stats) BytesSent() int64 { return 8 * s.FloatsSent }
 
-// World owns the channel fabric connecting size ranks.
+// World owns the channel fabric connecting size in-process ranks. It is
+// the InProcess implementation of Transport (one endpoint per rank).
 type World struct {
 	size int
 	// mail[dst][src] carries messages from src to dst. Buffered so that
@@ -68,7 +72,8 @@ type World struct {
 // mailboxDepth bounds the number of in-flight messages per (src,dst) pair.
 // Halo exchanges post at most a handful of messages per pair per layer, so
 // a small constant suffices; it is generous to keep the collectives from
-// serializing.
+// serializing. The socket fabric uses the same bound for its per-peer
+// inbox so both transports backpressure identically.
 const mailboxDepth = 128
 
 // NewWorld creates the fabric for size ranks.
@@ -86,68 +91,120 @@ func NewWorld(size int) *World {
 	return w
 }
 
-// Comm is one rank's handle onto the world. A Comm must only be used from
-// the goroutine running that rank.
-type Comm struct {
-	world *World
-	rank  int
-	Stats Stats
+// worldTransport is one rank's endpoint onto the channel fabric.
+type worldTransport struct {
+	w    *World
+	rank int
 }
 
-// Comm returns the handle for the given rank.
-func (w *World) Comm(rank int) *Comm {
+// Transport returns the in-process transport endpoint for the given rank.
+func (w *World) Transport(rank int) Transport {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
 	}
-	return &Comm{world: w, rank: rank}
+	return &worldTransport{w: w, rank: rank}
+}
+
+func (t *worldTransport) Rank() int           { return t.rank }
+func (t *worldTransport) Size() int           { return t.w.size }
+func (t *worldTransport) Kind() TransportKind { return InProcess }
+func (t *worldTransport) Close() error        { return nil }
+
+// Send transmits a copy of data (the channel hands the same backing array
+// to the receiver, so the copy realizes the non-retention contract). It
+// never blocks as long as fewer than mailboxDepth messages are in flight
+// between the pair.
+func (t *worldTransport) Send(dst int, tag Tag, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	t.w.mail[dst][t.rank] <- message{tag: tag, data: cp}
+}
+
+func (t *worldTransport) Recv(src int, tag Tag) []float64 {
+	m := <-t.w.mail[t.rank][src]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
+			t.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+func (t *worldTransport) SendInts(dst int, tag Tag, data []int64) {
+	cp := make([]int64, len(data))
+	copy(cp, data)
+	t.w.mail[dst][t.rank] <- message{tag: tag, ints: cp}
+}
+
+func (t *worldTransport) RecvInts(src int, tag Tag) []int64 {
+	m := <-t.w.mail[t.rank][src]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected int tag %d from %d, got %d",
+			t.rank, tag, src, m.tag))
+	}
+	return m.ints
+}
+
+// Comm is one rank's handle onto the world: a Transport endpoint plus the
+// collective algorithms and traffic counters. A Comm must only be used
+// from the goroutine running that rank.
+type Comm struct {
+	t     Transport
+	rank  int
+	size  int
+	Stats Stats
+}
+
+// NewComm wraps a transport endpoint in a rank handle.
+func NewComm(t Transport) *Comm {
+	return &Comm{t: t, rank: t.Rank(), size: t.Size()}
+}
+
+// Comm returns the handle for the given rank of the in-process fabric.
+func (w *World) Comm(rank int) *Comm {
+	return NewComm(w.Transport(rank))
 }
 
 // Rank returns this rank's index.
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the world size R.
-func (c *Comm) Size() int { return c.world.size }
+func (c *Comm) Size() int { return c.size }
 
-// Send transmits a copy of data to rank dst with the given tag.
-// It never blocks as long as fewer than mailboxDepth messages are in
-// flight between the pair.
+// Transport exposes the underlying fabric endpoint.
+func (c *Comm) Transport() Transport { return c.t }
+
+// TransportKind reports which fabric carries this rank's traffic.
+func (c *Comm) TransportKind() TransportKind { return c.t.Kind() }
+
+// Close releases the underlying transport.
+func (c *Comm) Close() error { return c.t.Close() }
+
+// Send transmits data to rank dst with the given tag. The buffer may be
+// reused by the caller once Send returns.
 func (c *Comm) Send(dst int, tag Tag, data []float64) {
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	c.world.mail[dst][c.rank] <- message{tag: tag, data: cp}
+	c.t.Send(dst, tag, data)
 	c.Stats.MessagesSent++
 	c.Stats.FloatsSent += int64(len(data))
 }
 
 // Recv blocks until a message from src arrives and returns its payload.
-// The tag must match the sender's tag.
+// The tag must match the sender's tag. The returned slice is valid until
+// the next Recv from the same source (see Transport's ownership contract).
 func (c *Comm) Recv(src int, tag Tag) []float64 {
-	m := <-c.world.mail[c.rank][src]
-	if m.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
-			c.rank, tag, src, m.tag))
-	}
-	return m.data
+	return c.t.Recv(src, tag)
 }
 
-// SendInts transmits a copy of an int64 payload (used by setup exchanges
-// of global node IDs).
+// SendInts transmits an int64 payload (used by setup exchanges of global
+// node IDs).
 func (c *Comm) SendInts(dst int, tag Tag, data []int64) {
-	cp := make([]int64, len(data))
-	copy(cp, data)
-	c.world.mail[dst][c.rank] <- message{tag: tag, ints: cp}
+	c.t.SendInts(dst, tag, data)
 	c.Stats.MessagesSent++
 	c.Stats.FloatsSent += int64(len(data)) // same 8-byte accounting
 }
 
 // RecvInts receives an int64 payload from src.
 func (c *Comm) RecvInts(src int, tag Tag) []int64 {
-	m := <-c.world.mail[c.rank][src]
-	if m.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected int tag %d from %d, got %d",
-			c.rank, tag, src, m.tag))
-	}
-	return m.ints
+	return c.t.RecvInts(src, tag)
 }
 
 // Barrier blocks until every rank has entered it. Implemented as a
@@ -173,7 +230,7 @@ func (c *Comm) Barrier() {
 // AllReduceSum sums buf element-wise across all ranks; on return every
 // rank holds the identical total. The reduction is performed on rank 0 in
 // ascending rank order, making the result deterministic and independent of
-// goroutine scheduling.
+// goroutine scheduling (and of the transport carrying the messages).
 func (c *Comm) AllReduceSum(buf []float64) {
 	c.Stats.AllReduces++
 	if c.Size() == 1 {
@@ -250,7 +307,9 @@ func (c *Comm) AllGather(local []float64) []float64 {
 // buffer received from rank i. nil entries are treated as empty: no
 // message is exchanged for a nil pair (mirroring the collective-library
 // behaviour the paper exploits for its Neighbor-AllToAll mode, where
-// torch.empty(0) buffers skip communication entirely).
+// torch.empty(0) buffers skip communication entirely). Received buffers
+// follow the transport ownership contract: each recv[i] is valid until
+// the next Recv from rank i (the next AllToAll at the earliest).
 func (c *Comm) AllToAll(send [][]float64) [][]float64 {
 	if len(send) != c.Size() {
 		panic(fmt.Sprintf("comm: AllToAll needs %d buffers, got %d", c.Size(), len(send)))
@@ -281,14 +340,8 @@ func (c *Comm) AllToAll(send [][]float64) [][]float64 {
 	return recv
 }
 
-// RunResult couples one rank's return value with its rank.
-type runError struct {
-	rank int
-	err  error
-}
-
-// Run executes fn on every rank of a fresh size-rank world and blocks
-// until all ranks finish, returning the first error by rank order.
+// Run executes fn on every rank of a fresh size-rank in-process world and
+// blocks until all ranks finish, returning the first error by rank order.
 func Run(size int, fn func(c *Comm) error) error {
 	_, err := RunCollect(size, func(c *Comm) (struct{}, error) {
 		return struct{}{}, fn(c)
@@ -300,6 +353,16 @@ func Run(size int, fn func(c *Comm) error) error {
 // results are returned indexed by rank.
 func RunCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
 	w := NewWorld(size)
+	return runRanks(size, func(rank int) (Transport, error) {
+		return w.Transport(rank), nil
+	}, fn)
+}
+
+// runRanks spawns one goroutine per rank, each with its own Comm built
+// from the transport factory, and gathers per-rank results. It is the
+// shared engine behind RunCollect (channel fabric) and RunSocketsCollect
+// (socket fabric).
+func runRanks[T any](size int, transport func(rank int) (Transport, error), fn func(c *Comm) (T, error)) ([]T, error) {
 	results := make([]T, size)
 	errs := make([]error, size)
 	var wg sync.WaitGroup
@@ -312,7 +375,13 @@ func RunCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
 					errs[rank] = fmt.Errorf("rank %d panicked: %v", rank, p)
 				}
 			}()
-			c := w.Comm(rank)
+			t, err := transport(rank)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			c := NewComm(t)
+			defer c.Close()
 			v, err := fn(c)
 			results[rank] = v
 			errs[rank] = err

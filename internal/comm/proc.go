@@ -1,0 +1,181 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Multi-process launcher: RunProcs runs one rank per OS process over the
+// socket fabric. The coordinator (the process the user started) becomes
+// rank 0 and re-execs its own binary once per worker rank with the
+// MESHGNN_* environment set; workers detect the environment, connect to
+// the shared socket directory, run the same rank function, and exit.
+//
+// Launcher environment protocol (all set by the coordinator):
+//
+//	MESHGNN_RANK          worker rank index (1..world-1)
+//	MESHGNN_WORLD         world size R
+//	MESHGNN_COMM_DIR      directory of the per-rank Unix sockets
+//	MESHGNN_COMM_NET      "unix" (default) or "tcp"
+//	MESHGNN_COMM_HOST     TCP host (MESHGNN_COMM_NET=tcp)
+//	MESHGNN_COMM_BASEPORT TCP base port: rank r listens at base+r
+//
+// Because workers re-exec the same binary with the same arguments, a
+// command that calls RunProcs must reach the RunProcs call on the same
+// code path in worker mode (flags are identical); IsWorker lets it skip
+// output-producing work on the way.
+const (
+	envRank     = "MESHGNN_RANK"
+	envWorld    = "MESHGNN_WORLD"
+	envCommDir  = "MESHGNN_COMM_DIR"
+	envCommNet  = "MESHGNN_COMM_NET"
+	envCommHost = "MESHGNN_COMM_HOST"
+	envCommPort = "MESHGNN_COMM_BASEPORT"
+)
+
+// IsWorker reports whether this process was spawned by a RunProcs
+// coordinator (MESHGNN_RANK is set).
+func IsWorker() bool {
+	_, ok := os.LookupEnv(envRank)
+	return ok
+}
+
+// WorkerEnv parses the launcher environment. ok is false in a
+// coordinator (or standalone) process.
+func WorkerEnv() (rank, size int, ok bool) {
+	rs, okR := os.LookupEnv(envRank)
+	ws, okW := os.LookupEnv(envWorld)
+	if !okR || !okW {
+		return 0, 0, false
+	}
+	rank, err1 := strconv.Atoi(rs)
+	size, err2 := strconv.Atoi(ws)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return rank, size, true
+}
+
+func socketOptionsFromEnv() SocketOptions {
+	opts := SocketOptions{
+		Network: os.Getenv(envCommNet),
+		Dir:     os.Getenv(envCommDir),
+		Host:    os.Getenv(envCommHost),
+	}
+	if p := os.Getenv(envCommPort); p != "" {
+		opts.BasePort, _ = strconv.Atoi(p)
+	}
+	return opts
+}
+
+// RunProcs executes fn as rank 0 of a procs-rank world whose other ranks
+// are separate OS processes (re-execs of this binary), all connected over
+// the socket fabric. In a worker process (IsWorker() == true) it instead
+// connects as the environment-assigned rank, runs fn, and returns; pass
+// procs <= 0 in contexts where the world size is only known from the
+// environment.
+//
+// The first error by rank order is returned; worker failures carry the
+// worker's combined output. Model/trainer state lives per process, so fn
+// must derive everything deterministically (seeded RNGs) for ranks to
+// stay consistent — exactly the property the consistency harness checks.
+func RunProcs(procs int, fn func(c *Comm) error) error {
+	if rank, size, ok := WorkerEnv(); ok {
+		if procs > 0 && size != procs {
+			return fmt.Errorf("comm: worker world size %d does not match requested %d procs", size, procs)
+		}
+		return runProcRank(socketOptionsFromEnv(), rank, size, fn)
+	}
+	if procs < 1 {
+		return fmt.Errorf("comm: procs must be >= 1, got %d", procs)
+	}
+	dir, err := os.MkdirTemp("", "meshgnn-procs-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("comm: cannot locate own binary for re-exec: %w", err)
+	}
+	type worker struct {
+		cmd *exec.Cmd
+		out bytes.Buffer
+	}
+	workers := make([]*worker, 0, procs-1)
+	for r := 1; r < procs; r++ {
+		w := &worker{cmd: exec.Command(exe, os.Args[1:]...)}
+		w.cmd.Stdout = &w.out
+		w.cmd.Stderr = &w.out
+		w.cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", envRank, r),
+			fmt.Sprintf("%s=%d", envWorld, procs),
+			fmt.Sprintf("%s=%s", envCommDir, dir),
+			fmt.Sprintf("%s=unix", envCommNet),
+		)
+		if err := w.cmd.Start(); err != nil {
+			for _, started := range workers {
+				started.cmd.Process.Kill()
+				started.cmd.Wait()
+			}
+			return fmt.Errorf("comm: spawning rank %d: %w", r, err)
+		}
+		workers = append(workers, w)
+	}
+
+	rank0Err := runProcRank(SocketOptions{Network: "unix", Dir: dir}, 0, procs, fn)
+	if rank0Err != nil {
+		// Workers blocked on rank 0's sockets observe the closed
+		// connections and exit; make sure of it before waiting.
+		for _, w := range workers {
+			w.cmd.Process.Kill()
+		}
+	}
+	var firstWorkerErr error
+	for i, w := range workers {
+		if err := w.cmd.Wait(); err != nil && firstWorkerErr == nil && rank0Err == nil {
+			firstWorkerErr = fmt.Errorf("comm: rank %d process: %w%s", i+1, err, outputTail(&w.out))
+		}
+	}
+	if rank0Err != nil {
+		return fmt.Errorf("comm: rank 0: %w", rank0Err)
+	}
+	return firstWorkerErr
+}
+
+// runProcRank connects one process-rank to the fabric and runs fn with
+// panics converted to errors (a worker panic must surface as a nonzero
+// exit, not a stack dump racing other ranks' output).
+func runProcRank(opts SocketOptions, rank, size int, fn func(c *Comm) error) (err error) {
+	t, terr := newSocketTransport(opts, rank, size, Processes)
+	if terr != nil {
+		return terr
+	}
+	c := NewComm(t)
+	defer c.Close()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("rank %d panicked: %v", rank, p)
+		}
+	}()
+	return fn(c)
+}
+
+// outputTail formats the last few lines of a failed worker's output for
+// inclusion in the coordinator's error.
+func outputTail(buf *bytes.Buffer) string {
+	s := strings.TrimSpace(buf.String())
+	if s == "" {
+		return ""
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) > 8 {
+		lines = lines[len(lines)-8:]
+	}
+	return "\n  worker output:\n    " + strings.Join(lines, "\n    ")
+}

@@ -1,0 +1,146 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+// envProcScenario names the rank function a re-exec'd worker of THIS test
+// binary should run. TestMain intercepts worker processes before the test
+// runner starts: a worker connects to the coordinator's fabric, runs the
+// scenario, and exits with its error status.
+const envProcScenario = "MESHGNN_TEST_PROC_SCENARIO"
+
+func TestMain(m *testing.M) {
+	if IsWorker() {
+		if err := runProcScenario(os.Getenv(envProcScenario)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runProcScenario(name string) error {
+	fn, ok := procScenarios[name]
+	if !ok {
+		return fmt.Errorf("unknown proc scenario %q", name)
+	}
+	return RunProcs(0, fn) // world size comes from the environment
+}
+
+var procScenarios = map[string]func(*Comm) error{
+	"collectives": procCollectivesScenario,
+	"oddfail":     procOddFailScenario,
+}
+
+// procCollectivesScenario runs the deterministic collective script and
+// verifies the result bitwise on EVERY rank against a locally recomputed
+// reference, so corruption anywhere in the process fabric fails the run.
+func procCollectivesScenario(c *Comm) error {
+	const n = 129
+	contrib := func(rank int) []float64 {
+		rng := rand.New(rand.NewSource(int64(rank + 1)))
+		buf := make([]float64, n)
+		for i := range buf {
+			buf[i] = rng.NormFloat64() * math.Sqrt2
+		}
+		return buf
+	}
+	buf := contrib(c.Rank())
+	c.AllReduceSum(buf)
+	// Recompute the rank-ordered reduction locally: rank 0's buffer is
+	// the base, contributions folded in ascending rank order.
+	want := contrib(0)
+	for r := 1; r < c.Size(); r++ {
+		for i, v := range contrib(r) {
+			want[i] += v
+		}
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(buf[i]) {
+			return fmt.Errorf("rank %d: allreduce element %d = %v, want %v (bitwise)",
+				c.Rank(), i, buf[i], want[i])
+		}
+	}
+
+	// Ring send/recv of int payloads exercises the int64 frames across
+	// processes.
+	next := (c.Rank() + 1) % c.Size()
+	prev := (c.Rank() - 1 + c.Size()) % c.Size()
+	c.SendInts(next, TagUser, []int64{int64(c.Rank() * 1000)})
+	got := c.RecvInts(prev, TagUser)
+	if len(got) != 1 || got[0] != int64(prev*1000) {
+		return fmt.Errorf("rank %d: ring payload %v from %d", c.Rank(), got, prev)
+	}
+	c.Barrier()
+	return nil
+}
+
+// procOddFailScenario completes its collectives, then odd ranks fail:
+// the coordinator must report the first failing worker by rank.
+func procOddFailScenario(c *Comm) error {
+	c.Barrier()
+	if c.Rank()%2 == 1 {
+		return fmt.Errorf("scripted failure on rank %d", c.Rank())
+	}
+	return nil
+}
+
+// TestRunProcsCollectives spawns 3 worker processes (4 ranks total) and
+// runs the full collective script across the process boundary.
+func TestRunProcsCollectives(t *testing.T) {
+	t.Setenv(envProcScenario, "collectives")
+	if err := RunProcs(4, procCollectivesScenario); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunProcsWorkerFailurePropagates asserts a failing worker surfaces
+// as a coordinator error naming the rank, with the worker's output.
+func TestRunProcsWorkerFailurePropagates(t *testing.T) {
+	t.Setenv(envProcScenario, "oddfail")
+	err := RunProcs(3, procOddFailScenario)
+	if err == nil {
+		t.Fatal("worker failure did not propagate")
+	}
+	if !strings.Contains(err.Error(), "rank 1 process") ||
+		!strings.Contains(err.Error(), "scripted failure on rank 1") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRunProcsSingle degenerates to a one-process world without spawning.
+func TestRunProcsSingle(t *testing.T) {
+	if err := RunProcs(1, func(c *Comm) error {
+		if c.Size() != 1 || c.TransportKind() != Processes {
+			return fmt.Errorf("size %d kind %v", c.Size(), c.TransportKind())
+		}
+		buf := []float64{1}
+		c.AllReduceSum(buf)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerEnvParsing pins the launcher environment protocol.
+func TestWorkerEnvParsing(t *testing.T) {
+	if IsWorker() {
+		t.Fatal("coordinator test process claims to be a worker")
+	}
+	t.Setenv(envRank, "3")
+	t.Setenv(envWorld, "8")
+	rank, size, ok := WorkerEnv()
+	if !ok || rank != 3 || size != 8 {
+		t.Fatalf("WorkerEnv = %d %d %v", rank, size, ok)
+	}
+	if !IsWorker() {
+		t.Fatal("IsWorker false with MESHGNN_RANK set")
+	}
+}

@@ -1,0 +1,512 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Wire protocol: every message is one frame,
+//
+//	[ kind:1 ][ tag:int32 LE ][ count:uint64 LE ][ payload: count × 8 bytes LE ]
+//
+// kind 'F' carries float64 elements (math.Float64bits), kind 'I' carries
+// int64 elements, and kind 'H' is the connection hello whose tag field
+// holds the dialing rank. A single full-duplex stream connects each rank
+// pair, so per-pair delivery order is the send order — the same ordering
+// guarantee the channel fabric provides.
+const (
+	frameFloats byte = 'F'
+	frameInts   byte = 'I'
+	frameHello  byte = 'H'
+
+	frameHeaderLen = 1 + 4 + 8
+)
+
+// SocketOptions configures the socket fabric.
+type SocketOptions struct {
+	// Network is "unix" (default) or "tcp".
+	Network string
+	// Dir holds the per-rank Unix socket files r<rank>.sock (Network
+	// "unix").
+	Dir string
+	// Host and BasePort place rank r's listener at Host:BasePort+r
+	// (Network "tcp").
+	Host     string
+	BasePort int
+	// DialTimeout bounds how long a rank retries connecting to a peer's
+	// listener (peers start concurrently, so early dials race the
+	// listener setup). Defaults to 30s.
+	DialTimeout time.Duration
+}
+
+func (o SocketOptions) network() string {
+	if o.Network == "" {
+		return "unix"
+	}
+	return o.Network
+}
+
+func (o SocketOptions) addr(rank int) string {
+	if o.network() == "unix" {
+		return fmt.Sprintf("%s/r%d.sock", o.Dir, rank)
+	}
+	host := o.Host
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("%s:%d", host, o.BasePort+rank)
+}
+
+func (o SocketOptions) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.DialTimeout
+}
+
+// frame is one decoded message as delivered to a peer's inbox.
+type frame struct {
+	kind byte
+	tag  Tag
+	f    []float64
+	i    []int64
+}
+
+// bufPool recycles payload slices between a peer's reader goroutine and
+// the receiving rank. It scans for a buffer with sufficient capacity so
+// mixed message sizes from the same peer (halo payloads interleaved with
+// gradient chunks) each settle on their own reused buffer instead of
+// thrashing the allocator.
+type bufPool struct {
+	mu sync.Mutex
+	f  [][]float64
+	i  [][]int64
+}
+
+func (bp *bufPool) getFloats(n int) []float64 {
+	bp.mu.Lock()
+	for k := len(bp.f) - 1; k >= 0; k-- {
+		if cap(bp.f[k]) >= n {
+			b := bp.f[k]
+			bp.f[k] = bp.f[len(bp.f)-1]
+			bp.f = bp.f[:len(bp.f)-1]
+			bp.mu.Unlock()
+			return b[:n]
+		}
+	}
+	bp.mu.Unlock()
+	return make([]float64, n)
+}
+
+func (bp *bufPool) putFloats(b []float64) {
+	bp.mu.Lock()
+	if len(bp.f) < mailboxDepth {
+		bp.f = append(bp.f, b)
+	}
+	bp.mu.Unlock()
+}
+
+func (bp *bufPool) getInts(n int) []int64 {
+	bp.mu.Lock()
+	for k := len(bp.i) - 1; k >= 0; k-- {
+		if cap(bp.i[k]) >= n {
+			b := bp.i[k]
+			bp.i[k] = bp.i[len(bp.i)-1]
+			bp.i = bp.i[:len(bp.i)-1]
+			bp.mu.Unlock()
+			return b[:n]
+		}
+	}
+	bp.mu.Unlock()
+	return make([]int64, n)
+}
+
+func (bp *bufPool) putInts(b []int64) {
+	bp.mu.Lock()
+	if len(bp.i) < mailboxDepth {
+		bp.i = append(bp.i, b)
+	}
+	bp.mu.Unlock()
+}
+
+// peer is the endpoint state for one remote rank: the stream, a reader
+// goroutine feeding the inbox, and a pool recycling payload buffers.
+// Payload recycling is what keeps the socket transport allocation-free in
+// steady state: a buffer returned by Recv is recycled when the *next*
+// payload of the same kind from the same peer is received, realizing the
+// Transport ownership contract.
+type peer struct {
+	conn net.Conn
+	rd   *bufio.Reader
+
+	// wmu serializes writers on the stream; wbuf is the reusable frame
+	// staging buffer (header + encoded payload, one Write per frame).
+	wmu  sync.Mutex
+	wbuf []byte
+
+	inbox chan frame
+	pool  bufPool
+	// lastF/lastI are the payloads most recently handed to the caller,
+	// returned to the pool on the next Recv/RecvInts.
+	lastF []float64
+	lastI []int64
+
+	readErr error
+	scratch []byte // reader-owned payload byte staging
+}
+
+// SocketTransport connects size ranks through a full mesh of stream
+// sockets: rank r listens at addr(r), dials every lower rank, and accepts
+// connections from every higher rank. It implements Transport; whether
+// the ranks are goroutines (Sockets) or OS processes (Processes) is
+// recorded by the constructor for diagnostics only — the wire behaviour
+// is identical.
+type SocketTransport struct {
+	rank  int
+	size  int
+	kind  TransportKind
+	ln    net.Listener
+	peers []*peer // indexed by rank; peers[rank] is the loopback
+}
+
+// NewSocketTransport establishes this rank's endpoint of the socket
+// fabric. All size ranks must call it concurrently (from goroutines or
+// separate processes); it returns once every pairwise connection is up.
+func NewSocketTransport(opts SocketOptions, rank, size int) (*SocketTransport, error) {
+	return newSocketTransport(opts, rank, size, Sockets)
+}
+
+func newSocketTransport(opts SocketOptions, rank, size int, kind TransportKind) (*SocketTransport, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("comm: world size must be >= 1, got %d", size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, size)
+	}
+	t := &SocketTransport{rank: rank, size: size, kind: kind, peers: make([]*peer, size)}
+	t.peers[rank] = newPeer(nil) // loopback: inbox only, no stream
+	if size == 1 {
+		return t, nil
+	}
+
+	// Listen before dialing: dial targets are strictly lower ranks, so
+	// every listener a rank dials was created before that rank began
+	// dialing only if all ranks listen first thing. Dials still retry to
+	// cover process startup skew.
+	if opts.network() == "unix" {
+		os.Remove(opts.addr(rank)) // stale socket from a crashed run
+	}
+	ln, err := net.Listen(opts.network(), opts.addr(rank))
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen: %w", rank, err)
+	}
+	t.ln = ln
+
+	// Accept from higher ranks concurrently with dialing lower ranks;
+	// with everyone following the same rule the handshake cannot cycle.
+	acceptDone := make(chan error, 1)
+	go func() { acceptDone <- t.acceptPeers(opts.dialTimeout()) }()
+	dialErr := t.dialPeers(opts)
+	if dialErr != nil {
+		ln.Close() // unblocks the pending Accept
+	}
+	acceptErr := <-acceptDone
+	if dialErr != nil || acceptErr != nil {
+		ln.Close()
+		t.closeConns()
+		if dialErr != nil {
+			return nil, dialErr
+		}
+		return nil, fmt.Errorf("comm: rank %d accept: %w", rank, acceptErr)
+	}
+
+	for r, p := range t.peers {
+		if r != rank {
+			go t.readLoop(r, p)
+		}
+	}
+	return t, nil
+}
+
+func newPeer(conn net.Conn) *peer {
+	p := &peer{
+		conn:  conn,
+		inbox: make(chan frame, mailboxDepth),
+	}
+	if conn != nil {
+		p.rd = bufio.NewReaderSize(conn, 1<<16)
+	}
+	return p
+}
+
+// dialPeers connects to every lower rank, retrying until the peer's
+// listener is up, and identifies itself with a hello frame.
+func (t *SocketTransport) dialPeers(opts SocketOptions) error {
+	for r := t.rank - 1; r >= 0; r-- {
+		deadline := time.Now().Add(opts.dialTimeout())
+		var conn net.Conn
+		var err error
+		for {
+			conn, err = net.DialTimeout(opts.network(), opts.addr(r), opts.dialTimeout())
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("comm: rank %d dial rank %d: %w", t.rank, r, err)
+		}
+		var hello [frameHeaderLen]byte
+		hello[0] = frameHello
+		binary.LittleEndian.PutUint32(hello[1:5], uint32(t.rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			return fmt.Errorf("comm: rank %d hello to rank %d: %w", t.rank, r, err)
+		}
+		t.peers[r] = newPeer(conn)
+	}
+	return nil
+}
+
+// acceptPeers accepts one connection from every higher rank, reading each
+// dialer's hello frame to learn its rank. The listener carries a deadline
+// matching the dial timeout so a peer that dies before connecting (e.g. a
+// worker process killed during setup) surfaces as a handshake error
+// instead of hanging the world forever.
+func (t *SocketTransport) acceptPeers(timeout time.Duration) error {
+	if d, ok := t.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(time.Now().Add(timeout))
+		defer d.SetDeadline(time.Time{})
+	}
+	for n := t.size - 1 - t.rank; n > 0; n-- {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return err
+		}
+		var hello [frameHeaderLen]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return fmt.Errorf("comm: rank %d hello read: %w", t.rank, err)
+		}
+		if hello[0] != frameHello {
+			return fmt.Errorf("comm: rank %d expected hello frame, got kind %q", t.rank, hello[0])
+		}
+		src := int(binary.LittleEndian.Uint32(hello[1:5]))
+		if src <= t.rank || src >= t.size {
+			return fmt.Errorf("comm: rank %d accepted invalid peer rank %d", t.rank, src)
+		}
+		if t.peers[src] != nil {
+			return fmt.Errorf("comm: rank %d accepted duplicate connection from rank %d", t.rank, src)
+		}
+		t.peers[src] = newPeer(conn)
+	}
+	return nil
+}
+
+// readLoop decodes frames from one peer's stream into its inbox. Payload
+// slices come from the peer's free lists, so steady-state traffic (fixed
+// message sizes, as in training) allocates nothing. On stream error the
+// inbox is closed; a Recv blocked on it reports the error.
+func (t *SocketTransport) readLoop(src int, p *peer) {
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(p.rd, hdr[:]); err != nil {
+			p.readErr = err
+			close(p.inbox)
+			return
+		}
+		kind := hdr[0]
+		tag := Tag(int32(binary.LittleEndian.Uint32(hdr[1:5])))
+		n := int(binary.LittleEndian.Uint64(hdr[5:]))
+		need := n * 8
+		if cap(p.scratch) < need {
+			p.scratch = make([]byte, need)
+		}
+		buf := p.scratch[:need]
+		if _, err := io.ReadFull(p.rd, buf); err != nil {
+			p.readErr = err
+			close(p.inbox)
+			return
+		}
+		fr := frame{kind: kind, tag: tag}
+		switch kind {
+		case frameFloats:
+			fr.f = p.pool.getFloats(n)
+			for i := range fr.f {
+				fr.f[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+		case frameInts:
+			fr.i = p.pool.getInts(n)
+			for i := range fr.i {
+				fr.i[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+		default:
+			p.readErr = fmt.Errorf("comm: unknown frame kind %q from rank %d", kind, src)
+			close(p.inbox)
+			return
+		}
+		p.inbox <- fr
+	}
+}
+
+func (t *SocketTransport) Rank() int           { return t.rank }
+func (t *SocketTransport) Size() int           { return t.size }
+func (t *SocketTransport) Kind() TransportKind { return t.kind }
+
+// Close shuts the listener and all peer streams. Blocked receives on any
+// rank observe the shutdown as a closed-connection panic.
+func (t *SocketTransport) Close() error {
+	var first error
+	if t.ln != nil {
+		first = t.ln.Close()
+	}
+	if err := t.closeConns(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func (t *SocketTransport) closeConns() error {
+	var first error
+	for r, p := range t.peers {
+		if r == t.rank || p == nil || p.conn == nil {
+			continue
+		}
+		if err := p.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Send frames data onto the stream to dst (loopback for dst == rank). The
+// staging buffer is per-peer and reused, so a steady-state exchange
+// pattern allocates nothing.
+func (t *SocketTransport) Send(dst int, tag Tag, data []float64) {
+	p := t.peer(dst)
+	if dst == t.rank {
+		buf := p.pool.getFloats(len(data))
+		copy(buf, data)
+		p.inbox <- frame{kind: frameFloats, tag: tag, f: buf}
+		return
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	buf := p.stage(frameFloats, tag, len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[frameHeaderLen+i*8:], math.Float64bits(v))
+	}
+	if _, err := p.conn.Write(buf); err != nil {
+		panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
+	}
+}
+
+// SendInts is Send for int64 payloads.
+func (t *SocketTransport) SendInts(dst int, tag Tag, data []int64) {
+	p := t.peer(dst)
+	if dst == t.rank {
+		buf := p.pool.getInts(len(data))
+		copy(buf, data)
+		p.inbox <- frame{kind: frameInts, tag: tag, i: buf}
+		return
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	buf := p.stage(frameInts, tag, len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[frameHeaderLen+i*8:], uint64(v))
+	}
+	if _, err := p.conn.Write(buf); err != nil {
+		panic(fmt.Sprintf("comm: rank %d send ints to %d: %v", t.rank, dst, err))
+	}
+}
+
+// stage sizes the write buffer for one frame and fills its header.
+func (p *peer) stage(kind byte, tag Tag, n int) []byte {
+	need := frameHeaderLen + n*8
+	if cap(p.wbuf) < need {
+		p.wbuf = make([]byte, need)
+	}
+	buf := p.wbuf[:need]
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(int32(tag)))
+	binary.LittleEndian.PutUint64(buf[5:frameHeaderLen], uint64(n))
+	return buf
+}
+
+// Recv returns the next float payload from src, recycling the previously
+// returned buffer.
+func (t *SocketTransport) Recv(src int, tag Tag) []float64 {
+	p := t.peer(src)
+	if p.lastF != nil {
+		p.pool.putFloats(p.lastF)
+		p.lastF = nil
+	}
+	fr, ok := <-p.inbox
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d recv from %d: connection closed (%v)", t.rank, src, p.readErr))
+	}
+	if fr.kind != frameFloats || fr.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d (floats) from %d, got tag %d kind %q",
+			t.rank, tag, src, fr.tag, fr.kind))
+	}
+	p.lastF = fr.f
+	return fr.f
+}
+
+// RecvInts returns the next int payload from src.
+func (t *SocketTransport) RecvInts(src int, tag Tag) []int64 {
+	p := t.peer(src)
+	if p.lastI != nil {
+		p.pool.putInts(p.lastI)
+		p.lastI = nil
+	}
+	fr, ok := <-p.inbox
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d recv ints from %d: connection closed (%v)", t.rank, src, p.readErr))
+	}
+	if fr.kind != frameInts || fr.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d (ints) from %d, got tag %d kind %q",
+			t.rank, tag, src, fr.tag, fr.kind))
+	}
+	p.lastI = fr.i
+	return fr.i
+}
+
+func (t *SocketTransport) peer(r int) *peer {
+	if r < 0 || r >= t.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", r, t.size))
+	}
+	return t.peers[r]
+}
+
+// RunSockets executes fn on every rank as a goroutine, connected through
+// real Unix-domain sockets in a temporary directory: the full socket wire
+// protocol without the process launcher, used by the consistency and
+// zero-allocation test harnesses (and usable under -race, unlike child
+// processes).
+func RunSockets(size int, fn func(c *Comm) error) error {
+	_, err := RunSocketsCollect(size, func(c *Comm) (struct{}, error) {
+		return struct{}{}, fn(c)
+	})
+	return err
+}
+
+// RunSocketsCollect is RunSockets with a per-rank return value, indexed
+// by rank.
+func RunSocketsCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
+	dir, err := os.MkdirTemp("", "meshgnn-sock-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	opts := SocketOptions{Network: "unix", Dir: dir}
+	return runRanks(size, func(rank int) (Transport, error) {
+		return NewSocketTransport(opts, rank, size)
+	}, fn)
+}

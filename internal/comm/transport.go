@@ -1,0 +1,92 @@
+package comm
+
+import "fmt"
+
+// Transport is the point-to-point substrate a Comm builds its collectives
+// on. Two implementations ship with the library:
+//
+//   - the in-process channel fabric (World), where every rank is a
+//     goroutine and messages travel through buffered channels; and
+//   - the socket fabric (SocketTransport), where ranks connect over
+//     Unix-domain or TCP sockets with length-prefixed binary frames and
+//     may live in separate OS processes.
+//
+// Because every collective (Barrier, AllReduce*, AllGather, AllToAll) is
+// implemented in Comm purely in terms of Send/Recv, the deterministic
+// rank-ordered reduction semantics — and hence the paper's bitwise
+// consistency property — are transport-independent. The cross-transport
+// harness (cmd/consistency -transport=both) asserts exactly that.
+//
+// Ordering contract: messages between a fixed (src,dst) pair are
+// delivered in send order; messages from different sources may interleave
+// arbitrarily. Tags exist to fail loudly on mispaired patterns, not to
+// reorder delivery.
+//
+// Ownership contract: the slice returned by Recv/RecvInts is owned by the
+// transport and is only guaranteed valid until the next Recv/RecvInts
+// from the same source. Callers that retain payloads must copy them (all
+// collectives in this package consume payloads immediately). Send may
+// read from data only until it returns; callers may reuse the buffer
+// afterwards.
+type Transport interface {
+	// Rank returns this endpoint's rank index.
+	Rank() int
+	// Size returns the world size R.
+	Size() int
+	// Send transmits data to rank dst under tag. It must not retain data
+	// after returning.
+	Send(dst int, tag Tag, data []float64)
+	// Recv blocks until the next message from src arrives and returns its
+	// payload, panicking on a tag mismatch.
+	Recv(src int, tag Tag) []float64
+	// SendInts and RecvInts are the int64-payload variants used by setup
+	// exchanges of global node IDs.
+	SendInts(dst int, tag Tag, data []int64)
+	RecvInts(src int, tag Tag) []int64
+	// Kind reports which fabric this transport realizes.
+	Kind() TransportKind
+	// Close releases the transport's resources (connections, listeners).
+	// The in-process fabric is GC-managed and Close is a no-op.
+	Close() error
+}
+
+// TransportKind names the available rank fabrics.
+type TransportKind int
+
+const (
+	// InProcess runs every rank as a goroutine over the channel fabric —
+	// the default, used by all single-binary experiments.
+	InProcess TransportKind = iota
+	// Sockets runs every rank as a goroutine but connects them through
+	// real Unix-domain sockets: the socket wire protocol under in-process
+	// scheduling, used by the consistency and allocation test harnesses.
+	Sockets
+	// Processes runs every rank as its own OS process connected through
+	// sockets (the -procs launcher mode).
+	Processes
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case InProcess:
+		return "inproc"
+	case Sockets:
+		return "sockets"
+	case Processes:
+		return "procs"
+	}
+	return fmt.Sprintf("TransportKind(%d)", int(k))
+}
+
+// ParseTransportKind converts the CLI spelling of a transport kind.
+func ParseTransportKind(s string) (TransportKind, error) {
+	switch s {
+	case "inproc", "in-process", "goroutines":
+		return InProcess, nil
+	case "sockets", "socket":
+		return Sockets, nil
+	case "procs", "processes", "proc":
+		return Processes, nil
+	}
+	return 0, fmt.Errorf("comm: unknown transport %q (want inproc, sockets, or procs)", s)
+}

@@ -302,8 +302,100 @@ func rankGrid(r int, strat partition.Strategy) (rx, ry, rz int) {
 // ---------------------------------------------------------------------------
 // Shared helpers for the measured tier.
 
+// measuredMesh builds the weak-scaling box and per-rank sub-graphs for a
+// measured point (elemsPerRank³ elements per rank; slab grid up to 8
+// ranks, blocks beyond), shared by the goroutine and process tiers.
+func measuredMesh(p, elemsPerRank, r int) (*mesh.Box, []*graph.Local, error) {
+	strat := partition.Blocks
+	if r <= 8 {
+		strat = partition.Slabs
+	}
+	rx, ry, rz := rankGrid(r, strat)
+	box, err := mesh.NewBox(rx*elemsPerRank, ry*elemsPerRank, rz*elemsPerRank, p,
+		[3]bool{true, true, true})
+	if err != nil {
+		return nil, nil, err
+	}
+	locals, err := buildLocals(box, r, partition.Auto)
+	if err != nil {
+		return nil, nil, err
+	}
+	return box, locals, nil
+}
+
+// measuredRankBody is the per-rank measurement script of the measured
+// tiers: one warm-up training iteration, then iters timed iterations
+// bracketed by barriers. Both the goroutine tier (measuredStep) and the
+// process tier (MeasuredProcs) run exactly this body, so their timing and
+// traffic accounting cannot drift apart.
+func measuredRankBody(c *comm.Comm, box *mesh.Box, l *graph.Local, mode comm.ExchangeMode, cfg gnn.Config, iters int) (elapsed time.Duration, perRun comm.Stats, nodes int64, err error) {
+	rc, err := gnn.NewRankContext(c, box, l, mode)
+	if err != nil {
+		return 0, comm.Stats{}, 0, err
+	}
+	model, err := gnn.NewModel(cfg)
+	if err != nil {
+		return 0, comm.Stats{}, 0, err
+	}
+	trainer := gnn.NewTrainer(model, nn.NewAdam(1e-3))
+	x := field.Sample(inputField(), rc.Graph, 0.25)
+	// Warm-up iteration excluded from timing.
+	trainer.Step(rc, x, x)
+	base := c.Stats
+	c.Barrier()
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		trainer.Step(rc, x, x)
+	}
+	c.Barrier()
+	elapsed = time.Since(start)
+	perRun = c.Stats
+	perRun.MessagesSent -= base.MessagesSent
+	perRun.FloatsSent -= base.FloatsSent
+	return elapsed, perRun, int64(rc.Graph.NumLocal()), nil
+}
+
+// measuredPoint assembles the report row from one rank's measurement.
+func measuredPoint(cfg gnn.Config, mode comm.ExchangeMode, r int, nodes int64, secPerIter float64, stats comm.Stats, iters int) MeasuredPoint {
+	return MeasuredPoint{
+		Model:        cfg.Name,
+		Mode:         mode,
+		Ranks:        r,
+		NodesPerRank: nodes,
+		SecPerIter:   secPerIter,
+		Throughput:   float64(r) * float64(nodes) / secPerIter,
+		Messages:     stats.MessagesSent / int64(iters),
+		Floats:       stats.FloatsSent / int64(iters),
+	}
+}
+
+// MeasuredProcs runs one measured weak-scaling point with procs
+// OS-process ranks connected over the socket fabric: the multi-process
+// counterpart of one Fig7Measured row. The calling process coordinates as
+// rank 0 (workers are re-execs of the same binary; see comm.RunProcs), so
+// the returned point carries rank 0's timing and traffic counters. In a
+// worker process the training runs collectively but the returned point is
+// zero — only the coordinator reports.
+func MeasuredProcs(p, elemsPerRank, procs int, cfg gnn.Config, mode comm.ExchangeMode, iters int) (MeasuredPoint, error) {
+	box, locals, err := measuredMesh(p, elemsPerRank, procs)
+	if err != nil {
+		return MeasuredPoint{}, err
+	}
+	var pt MeasuredPoint
+	err = comm.RunProcs(procs, func(c *comm.Comm) error {
+		elapsed, stats, nodes, err := measuredRankBody(c, box, locals[c.Rank()], mode, cfg, iters)
+		if err != nil || c.Rank() != 0 {
+			return err
+		}
+		pt = measuredPoint(cfg, mode, procs, nodes, elapsed.Seconds()/float64(iters), stats, iters)
+		return nil
+	})
+	return pt, err
+}
+
 // measuredStep runs iters full training iterations on r goroutine ranks
-// and returns the per-iteration wall time and rank-0 traffic counters.
+// and returns the per-iteration wall time (slowest rank) and rank-0
+// traffic counters.
 func measuredStep(box *mesh.Box, r int, mode comm.ExchangeMode, cfg gnn.Config, iters int) (secPerIter float64, stats comm.Stats, nodesPerRank int64, err error) {
 	locals, err := buildLocals(box, r, partition.Auto)
 	if err != nil {
@@ -315,30 +407,11 @@ func measuredStep(box *mesh.Box, r int, mode comm.ExchangeMode, cfg gnn.Config, 
 		nodes int64
 	}
 	results, err := comm.RunCollect(r, func(c *comm.Comm) (out, error) {
-		rc, err := gnn.NewRankContext(c, box, locals[c.Rank()], mode)
+		elapsed, perRun, nodes, err := measuredRankBody(c, box, locals[c.Rank()], mode, cfg, iters)
 		if err != nil {
 			return out{}, err
 		}
-		model, err := gnn.NewModel(cfg)
-		if err != nil {
-			return out{}, err
-		}
-		trainer := gnn.NewTrainer(model, nn.NewAdam(1e-3))
-		x := field.Sample(inputField(), rc.Graph, 0.25)
-		// Warm-up iteration excluded from timing.
-		trainer.Step(rc, x, x)
-		base := c.Stats
-		c.Barrier()
-		start := time.Now()
-		for it := 0; it < iters; it++ {
-			trainer.Step(rc, x, x)
-		}
-		c.Barrier()
-		elapsed := time.Since(start)
-		s := c.Stats
-		s.MessagesSent -= base.MessagesSent
-		s.FloatsSent -= base.FloatsSent
-		return out{d: elapsed, stats: s, nodes: int64(rc.Graph.NumLocal())}, nil
+		return out{d: elapsed, stats: perRun, nodes: nodes}, nil
 	})
 	if err != nil {
 		return 0, comm.Stats{}, 0, err

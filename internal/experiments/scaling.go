@@ -169,13 +169,7 @@ type MeasuredPoint struct {
 func Fig7Measured(p, elemsPerRank int, rs []int, cfg gnn.Config, modes []comm.ExchangeMode, iters int) ([]MeasuredPoint, error) {
 	var out []MeasuredPoint
 	for _, r := range rs {
-		strat := partition.Blocks
-		if r <= 8 {
-			strat = partition.Slabs
-		}
-		rx, ry, rz := rankGrid(r, strat)
-		box, err := mesh.NewBox(rx*elemsPerRank, ry*elemsPerRank, rz*elemsPerRank, p,
-			[3]bool{true, true, true})
+		box, _, err := measuredMesh(p, elemsPerRank, r)
 		if err != nil {
 			return nil, err
 		}
@@ -185,21 +179,12 @@ func Fig7Measured(p, elemsPerRank int, rs []int, cfg gnn.Config, modes []comm.Ex
 			if err != nil {
 				return nil, fmt.Errorf("R=%d mode %v: %w", r, mode, err)
 			}
-			tp := float64(r) * float64(nodes) / sec
+			pt := measuredPoint(cfg, mode, r, nodes, sec, stats, iters)
 			if mode == comm.NoExchange {
-				noneTP = tp
+				noneTP = pt.Throughput
 			}
-			out = append(out, MeasuredPoint{
-				Model:        cfg.Name,
-				Mode:         mode,
-				Ranks:        r,
-				NodesPerRank: nodes,
-				SecPerIter:   sec,
-				Throughput:   tp,
-				Relative:     tp / noneTP,
-				Messages:     stats.MessagesSent / int64(iters),
-				Floats:       stats.FloatsSent / int64(iters),
-			})
+			pt.Relative = pt.Throughput / noneTP
+			out = append(out, pt)
 		}
 	}
 	return out, nil

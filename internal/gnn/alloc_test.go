@@ -9,6 +9,7 @@ import (
 	"meshgnn/internal/mesh"
 	"meshgnn/internal/nn"
 	"meshgnn/internal/parallel"
+	"meshgnn/internal/partition"
 	"meshgnn/internal/tensor"
 )
 
@@ -115,6 +116,68 @@ func TestTrainStepZeroAllocSteadyState(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestTrainStepZeroAllocSocketTransport extends the zero-allocation gate
+// to the socket transport: two ranks train over real Unix-domain sockets
+// (halo exchange + gradient AllReduce crossing the wire each step) and
+// the steady-state step must still perform zero heap allocations — the
+// framed staging buffers and recycled receive payloads keep the comm
+// layer out of the allocator, so the tensor/nn/gnn hot path stays 0
+// allocs/op with the socket transport active.
+func TestTrainStepZeroAllocSocketTransport(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	parallel.Configure(1, true)
+	defer parallel.Configure(0, true)
+	box, err := mesh.NewBox(4, 3, 3, 2, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.NewCartesian(box, 2, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := graph.BuildAll(box, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 measures; rank 1 steps in lockstep (the collectives inside
+	// Step synchronize the pair), executing exactly the same number of
+	// steps: 2 warm-ups plus the 1+5 runs AllocsPerRun performs.
+	// AllocsPerRun reads global allocation counters, so rank 1's steps
+	// and both ranks' socket readers are inside the measurement too.
+	const warmups, measured = 2, 6
+	err = comm.RunSockets(2, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, locals[c.Rank()], comm.SendRecvMode)
+		if err != nil {
+			return err
+		}
+		model, err := NewModel(SmallConfig())
+		if err != nil {
+			return err
+		}
+		tr := NewTrainer(model, nn.NewAdam(1e-3))
+		x := waveField(rc.Graph)
+		step := func() { tr.Step(rc, x, x) }
+		for i := 0; i < warmups; i++ {
+			step()
+		}
+		if c.Rank() != 0 {
+			for i := 0; i < measured; i++ {
+				step()
+			}
+			return nil
+		}
+		if n := testing.AllocsPerRun(measured-1, step); n != 0 {
+			t.Errorf("socket-transport train step allocates %v times in steady state", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

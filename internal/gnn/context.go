@@ -74,6 +74,15 @@ func (t *edgeInputsTask) Run(lo, hi int) {
 	}
 }
 
+// TransportKind reports which fabric (in-process channels, sockets, or
+// socket-connected OS processes) carries this rank's traffic. The GNN
+// never branches on it — halo exchanges and collectives behave
+// identically on every transport — but runners surface it in banners and
+// reports.
+func (rc *RankContext) TransportKind() comm.TransportKind {
+	return rc.Comm.TransportKind()
+}
+
 // EdgeInputs assembles the raw edge-attribute matrix for the given input
 // node features under the configured mode. For EdgeFeatures7 the first
 // three columns are the relative input node features x_dst - x_src (the

@@ -1,0 +1,128 @@
+package gnn
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+	"meshgnn/internal/nn"
+	"meshgnn/internal/parallel"
+	"meshgnn/internal/partition"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current implementation")
+
+const goldenLossPath = "testdata/golden_losses.txt"
+
+// goldenRun executes the pinned training configuration: a 3³-element p=2
+// fully periodic mesh on two slab ranks, the seeded small model, N-A2A
+// halo exchange, Adam, 12 steps. Returns rank 0's per-step consistent
+// losses. The deterministic engine makes the result independent of thread
+// count, transport, and scheduling — so any change is an intentional
+// arithmetic change, not noise.
+func goldenRun(t *testing.T) []float64 {
+	t.Helper()
+	parallel.Configure(1, true)
+	defer parallel.Configure(0, true)
+	box, err := mesh.NewBox(3, 3, 3, 2, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.NewCartesian(box, 2, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := graph.BuildAll(box, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := comm.RunCollect(2, func(c *comm.Comm) ([]float64, error) {
+		rc, err := NewRankContext(c, box, locals[c.Rank()], comm.NeighborAllToAll)
+		if err != nil {
+			return nil, err
+		}
+		model, err := NewModel(SmallConfig())
+		if err != nil {
+			return nil, err
+		}
+		tr := NewTrainer(model, nn.NewAdam(1e-3))
+		x := waveField(rc.Graph)
+		losses := make([]float64, 12)
+		for i := range losses {
+			losses[i] = tr.Step(rc, x, x)
+		}
+		return losses, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results[0]
+}
+
+// TestGoldenLossesBitwise compares the pinned training trajectory
+// bit-for-bit against the checked-in golden file. Kernel changes that
+// alter floating-point grouping (like PR 2's register-blocked GEMM)
+// surface here as an explicit, reviewable diff instead of silent drift:
+// regenerate with
+//
+//	go test ./internal/gnn -run TestGoldenLossesBitwise -update
+//
+// and commit the new golden alongside the kernel change. The golden
+// records amd64/go1.24 arithmetic; a legitimately differing platform
+// (e.g. FMA contraction on another architecture) should regenerate too.
+func TestGoldenLossesBitwise(t *testing.T) {
+	losses := goldenRun(t)
+
+	if *updateGolden {
+		var sb strings.Builder
+		sb.WriteString("# Per-step consistent losses of the golden training run, one per line:\n")
+		sb.WriteString("# float64 bit pattern (hex) followed by its decimal rendering.\n")
+		sb.WriteString("# Regenerate with: go test ./internal/gnn -run TestGoldenLossesBitwise -update\n")
+		for _, v := range losses {
+			fmt.Fprintf(&sb, "%016x %.17g\n", math.Float64bits(v), v)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenLossPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenLossPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s (%d steps)", goldenLossPath, len(losses))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenLossPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want []uint64
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		bits, err := strconv.ParseUint(strings.Fields(line)[0], 16, 64)
+		if err != nil {
+			t.Fatalf("corrupt golden line %q: %v", line, err)
+		}
+		want = append(want, bits)
+	}
+	if len(want) != len(losses) {
+		t.Fatalf("golden has %d steps, run produced %d", len(want), len(losses))
+	}
+	for i, v := range losses {
+		if bits := math.Float64bits(v); bits != want[i] {
+			t.Errorf("step %d: loss %.17g (%016x) != golden %.17g (%016x) — "+
+				"if a kernel change intentionally regrouped arithmetic, regenerate with -update",
+				i+1, v, bits, math.Float64frombits(want[i]), want[i])
+		}
+	}
+}

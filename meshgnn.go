@@ -71,6 +71,14 @@ type (
 	Matrix = tensor.Matrix
 	// ExchangeMode selects the halo exchange implementation.
 	ExchangeMode = comm.ExchangeMode
+	// Transport is the point-to-point substrate ranks communicate over
+	// (in-process channels or sockets); collectives are built on top of
+	// it with transport-independent, bitwise-deterministic reductions.
+	Transport = comm.Transport
+	// TransportKind selects how ranks are realized and connected:
+	// goroutines over channels, goroutines over sockets, or OS processes
+	// over sockets.
+	TransportKind = comm.TransportKind
 	// Strategy selects the Cartesian partition shape.
 	Strategy = partition.Strategy
 	// RankStats summarizes a rank's sub-graph (paper Table II columns).
@@ -124,6 +132,18 @@ const (
 	NeighborAllToAll = comm.NeighborAllToAll
 	// SendRecv uses pairwise point-to-point exchanges.
 	SendRecv = comm.SendRecvMode
+)
+
+// Rank transports (see RunOn).
+const (
+	// InProcess runs every rank as a goroutine over the channel fabric.
+	InProcess = comm.InProcess
+	// Sockets runs goroutine ranks over real Unix-domain sockets (the
+	// socket wire protocol without the process launcher).
+	Sockets = comm.Sockets
+	// Processes runs every rank as its own OS process connected over
+	// sockets (the -procs launcher mode).
+	Processes = comm.Processes
 )
 
 // Partition strategies.
@@ -194,6 +214,13 @@ var (
 	ClipGradNorm = nn.ClipGradNorm
 	// Evaluate computes consistent error metrics collectively.
 	Evaluate = gnn.Evaluate
+	// ParseTransportKind converts the CLI spelling of a transport
+	// ("inproc", "sockets", "procs").
+	ParseTransportKind = comm.ParseTransportKind
+	// IsWorker reports whether this process was spawned by the -procs
+	// launcher (MESHGNN_RANK set); commands use it to mute duplicate
+	// output in worker ranks.
+	IsWorker = comm.IsWorker
 )
 
 // SetParallelism configures the process-wide intra-rank compute engine:
@@ -323,13 +350,41 @@ func (r *Rank) WriteVTK(w io.Writer, fields ...VTKField) error {
 // inside fn (model forward/backward, loss, trainer steps) must be called
 // by all ranks in the same order.
 func (s *System) Run(mode ExchangeMode, fn func(r *Rank) error) error {
-	return comm.Run(s.Ranks, func(c *comm.Comm) error {
+	return s.RunOn(InProcess, mode, fn)
+}
+
+// RunOn is Run with an explicit rank transport:
+//
+//   - InProcess: goroutine ranks over the channel fabric (Run's default);
+//   - Sockets: goroutine ranks over real Unix-domain sockets, exercising
+//     the full wire protocol inside one process;
+//   - Processes: one OS process per rank. The calling process becomes
+//     rank 0 and re-execs its binary for ranks 1..R-1 (the MESHGNN_RANK /
+//     MESHGNN_WORLD environment protocol); in a spawned worker, RunOn
+//     connects as the assigned rank instead. Per-rank return values
+//     cannot cross the process boundary, so fn must persist anything a
+//     worker needs to hand back (rank 0 runs in the calling process and
+//     can capture results in its closure).
+//
+// The deterministic collectives make training bitwise-identical across
+// all three (asserted by cmd/consistency -transport=both).
+func (s *System) RunOn(kind TransportKind, mode ExchangeMode, fn func(r *Rank) error) error {
+	run := func(c *comm.Comm) error {
 		rc, err := gnn.NewRankContext(c, s.Mesh, s.Locals[c.Rank()], mode)
 		if err != nil {
 			return err
 		}
 		return fn(&Rank{Ctx: rc, Graph: s.Locals[c.Rank()], System: s})
-	})
+	}
+	switch kind {
+	case InProcess:
+		return comm.Run(s.Ranks, run)
+	case Sockets:
+		return comm.RunSockets(s.Ranks, run)
+	case Processes:
+		return comm.RunProcs(s.Ranks, run)
+	}
+	return fmt.Errorf("meshgnn: unknown transport kind %v", kind)
 }
 
 // RunCollect is Run with a per-rank return value, indexed by rank.
