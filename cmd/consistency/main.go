@@ -22,6 +22,14 @@
 //
 // -transport=inproc or -transport=procs runs just one side and prints its
 // loss trace (useful for debugging a transport in isolation).
+//
+// A third mode pins the overlapped halo pipeline: -overlap=both trains
+// the same seeded model with the synchronous and the phased (overlapped)
+// NMP pipeline — the overlapped side on both the channel and the socket
+// fabric — and asserts the losses, parameters, and checkpoints agree bit
+// for bit. Overlap must be a pure scheduling change:
+//
+//	consistency -overlap=both [-procs 4] [-elems 4] [-p 1] [-iters 20]
 package main
 
 import (
@@ -50,8 +58,9 @@ func main() {
 		model     = flag.String("model", "small", "model configuration: small or large")
 		lr        = flag.Float64("lr", 1e-3, "Adam learning rate for -train")
 		transport = flag.String("transport", "", "cross-transport check: inproc, procs, or both")
-		procs     = flag.Int("procs", 4, "rank/process count for -transport")
-		modeFlag  = flag.String("mode", "na2a", "halo exchange for -transport: a2a, na2a, sendrecv")
+		procs     = flag.Int("procs", 4, "rank/process count for -transport and -overlap")
+		modeFlag  = flag.String("mode", "na2a", "halo exchange for -transport/-overlap: a2a, na2a, sendrecv")
+		overlapCk = flag.String("overlap", "", "overlap check: on, off, or both (both trains synchronous vs overlapped — and overlapped over sockets — and asserts bitwise equality)")
 	)
 	flag.Parse()
 
@@ -60,8 +69,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *transport != "" && *overlapCk != "" {
+		log.Fatal("-transport and -overlap are separate harnesses; pass one at a time")
+	}
 	if *transport != "" {
 		runTransportCheck(*transport, *procs, *elems, *p, *iters, *lr, *modeFlag, cfg)
+		return
+	}
+	if *overlapCk != "" {
+		runOverlapCheck(*overlapCk, *procs, *elems, *p, *iters, *lr, *modeFlag, cfg)
 		return
 	}
 
@@ -207,6 +223,130 @@ func runTransportCheck(which string, procs, elems, p, iters int, lr float64, mod
 		log.Fatal("TRANSPORT INCONSISTENCY: in-process and socket-process runs diverged")
 	}
 	fmt.Println("\nin-process and socket-process training are bitwise identical (losses, parameters, checkpoints).")
+}
+
+// runOverlapCheck trains the same seeded model with the synchronous and
+// the overlapped (phased) NMP pipeline and asserts the trajectories are
+// bitwise identical: overlapping halo communication with interior compute
+// is a scheduling change, not an arithmetic one. The overlapped side is
+// additionally run over the socket fabric, so one invocation pins the
+// property on both transports.
+func runOverlapCheck(which string, ranks, elems, p, iters int, lr float64, modeName string, cfg meshgnn.Config) {
+	switch which {
+	case "on", "off", "both":
+	default:
+		log.Fatalf("unknown -overlap %q (want on, off, or both)", which)
+	}
+	if iters < 1 {
+		log.Fatalf("-iters must be >= 1 for -overlap, got %d", iters)
+	}
+	mode, err := parseMode(modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := meshgnn.NewMesh(elems, elems, elems, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, ranks, meshgnn.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	field := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	run := func(kind meshgnn.TransportKind, overlap bool) (runArtifacts, error) {
+		runCfg := cfg
+		runCfg.Overlap = overlap
+		var art runArtifacts
+		err := sys.RunOn(kind, mode, func(r *meshgnn.Rank) error {
+			mdl, err := meshgnn.NewModel(runCfg)
+			if err != nil {
+				return err
+			}
+			trainer := meshgnn.NewTrainer(mdl, meshgnn.NewAdam(lr))
+			x := r.Sample(field, 0)
+			losses := make([]float64, 0, iters)
+			for it := 0; it < iters; it++ {
+				losses = append(losses, trainer.Step(r.Ctx, x, x))
+			}
+			if r.ID() != 0 {
+				return nil
+			}
+			art.losses = losses
+			// The serialized Config records the Overlap knob, which
+			// legitimately differs between the two pipelines; normalize
+			// it before saving so checkpoint bytes — parameters and
+			// optimizer moments included — must match exactly.
+			mdl.SetOverlap(false)
+			var mb, cb bytes.Buffer
+			if err := meshgnn.SaveModel(&mb, mdl); err != nil {
+				return err
+			}
+			if err := meshgnn.SaveTrainingState(&cb, trainer); err != nil {
+				return err
+			}
+			art.modelBytes = mb.Bytes()
+			art.ckptBytes = cb.Bytes()
+			return nil
+		})
+		return art, err
+	}
+
+	fmt.Printf("overlap consistency: %d^3-element p=%d mesh, R=%d goroutine ranks, %s exchange, %s model, %d iterations\n",
+		elems, p, ranks, mode, cfg.Name, iters)
+
+	if which != "both" {
+		art, err := run(meshgnn.InProcess, which == "on")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  overlap=%s : final loss %.12g after %d steps\n",
+			which, art.losses[len(art.losses)-1], len(art.losses))
+		return
+	}
+
+	sync, err := run(meshgnn.InProcess, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  synchronous (inproc)  : final loss %.12g after %d steps\n",
+		sync.losses[len(sync.losses)-1], len(sync.losses))
+	over, err := run(meshgnn.InProcess, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  overlapped  (inproc)  : final loss %.12g\n", over.losses[len(over.losses)-1])
+	overSock, err := run(meshgnn.Sockets, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  overlapped  (sockets) : final loss %.12g\n", overSock.losses[len(overSock.losses)-1])
+
+	bad := false
+	for _, cmp := range []struct {
+		name string
+		art  runArtifacts
+	}{
+		{"overlapped (inproc)", over},
+		{"overlapped (sockets)", overSock},
+	} {
+		lossDiff, lossBits := maxAbsDiff(sync.losses, cmp.art.losses)
+		paramDiff, paramBits := compareModels(sync.modelBytes, cmp.art.modelBytes)
+		ckptEqual := bytes.Equal(sync.ckptBytes, cmp.art.ckptBytes)
+		fmt.Printf("\n%s vs synchronous:\n", cmp.name)
+		fmt.Printf("  max |Δ| losses      = %g (%d differing bit patterns of %d)\n",
+			lossDiff, lossBits, len(sync.losses))
+		fmt.Printf("  max |Δ| parameters  = %g (%d differing bit patterns)\n", paramDiff, paramBits)
+		fmt.Printf("  checkpoint bytes    : %d vs %d, identical=%v\n",
+			len(sync.ckptBytes), len(cmp.art.ckptBytes), ckptEqual)
+		if lossBits != 0 || paramBits != 0 || !ckptEqual {
+			bad = true
+		}
+	}
+	if bad {
+		log.Fatal("OVERLAP INCONSISTENCY: overlapped and synchronous training diverged")
+	}
+	fmt.Println("\noverlapped and synchronous training are bitwise identical (losses, parameters, checkpoints — both transports).")
 }
 
 // maxAbsDiff returns the largest |a-b| and the count of elements whose

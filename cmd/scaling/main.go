@@ -52,6 +52,7 @@ func main() {
 		det       = flag.Bool("deterministic", true, "fixed-schedule reductions: results bitwise-identical for any -threads")
 		procs     = flag.Int("procs", 0, "measure one point with this many OS-process ranks over sockets")
 		procMode  = flag.String("procmode", "na2a", "halo exchange for -procs: none, a2a, na2a, sendrecv")
+		overlap   = flag.Bool("overlap", false, "measured tiers: overlap halo communication with interior compute (bitwise-identical results)")
 	)
 	flag.Parse()
 	if *threads < 0 {
@@ -60,7 +61,7 @@ func main() {
 	parallel.Configure(*threads, *det)
 
 	if *procs > 0 {
-		runProcs(*p, *elems, *procs, *procMode, *iters)
+		runProcs(*p, *elems, *procs, *procMode, *iters, *overlap)
 		return
 	}
 
@@ -69,7 +70,7 @@ func main() {
 	experiments.RenderTable1(os.Stdout, experiments.Table1())
 
 	if *measured {
-		runMeasured(*p, *elems, *iters)
+		runMeasured(*p, *elems, *iters, *overlap)
 		return
 	}
 
@@ -127,17 +128,19 @@ func main() {
 
 // runProcs measures one weak-scaling point with real OS-process ranks:
 // this process coordinates as rank 0 and re-execs itself for the workers.
-func runProcs(p, elems, procs int, modeName string, iters int) {
+func runProcs(p, elems, procs int, modeName string, iters int, overlap bool) {
 	mode, err := comm.ParseExchangeMode(modeName)
 	if err != nil {
 		log.Fatal(err)
 	}
 	worker := comm.IsWorker()
 	if !worker {
-		fmt.Printf("\nFig. 7 (process tier): %d OS-process ranks over sockets, %d^3 elements/rank, p=%d, %s exchange, %d iters\n\n",
-			procs, elems, p, mode, iters)
+		fmt.Printf("\nFig. 7 (process tier): %d OS-process ranks over sockets, %d^3 elements/rank, p=%d, %s exchange (overlap=%v), %d iters\n\n",
+			procs, elems, p, mode, overlap, iters)
 	}
-	pt, err := experiments.MeasuredProcs(p, elems, procs, gnn.SmallConfig(), mode, iters)
+	cfg := gnn.SmallConfig()
+	cfg.Overlap = overlap
+	pt, err := experiments.MeasuredProcs(p, elems, procs, cfg, mode, iters)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -148,13 +151,16 @@ func runProcs(p, elems, procs int, modeName string, iters int) {
 }
 
 // runMeasured executes the real distributed trainer across rank counts
-// and exchange modes on this host.
-func runMeasured(p, elems, iters int) {
-	fmt.Printf("\nFig. 7 (measured tier): real goroutine ranks, %d^3 elements/rank, p=%d, %d iters/point, %d intra-rank threads\n",
-		elems, p, iters, parallel.Threads())
+// and exchange modes on this host, printing the per-iteration halo time
+// and its exposed (unhidden) subset alongside throughput.
+func runMeasured(p, elems, iters int, overlap bool) {
+	fmt.Printf("\nFig. 7 (measured tier): real goroutine ranks, %d^3 elements/rank, p=%d, %d iters/point, %d intra-rank threads, overlap=%v\n",
+		elems, p, iters, parallel.Threads(), overlap)
 	fmt.Println("(single-host ranks time-share cores: compare the relative column, not absolute scaling)")
 	fmt.Println()
-	pts, err := experiments.Fig7Measured(p, elems, []int{1, 2, 4, 8}, gnn.SmallConfig(),
+	cfg := gnn.SmallConfig()
+	cfg.Overlap = overlap
+	pts, err := experiments.Fig7Measured(p, elems, []int{1, 2, 4, 8}, cfg,
 		[]comm.ExchangeMode{comm.AllToAllMode, comm.NeighborAllToAll}, iters)
 	if err != nil {
 		log.Fatal(err)

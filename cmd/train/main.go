@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"meshgnn"
 )
@@ -51,6 +52,7 @@ func main() {
 		loadFrom = flag.String("load", "", "initialize the model from this checkpoint")
 		threads  = flag.Int("threads", 0, "intra-rank worker threads per kernel (0 = GOMAXPROCS, 1 = serial)")
 		det      = flag.Bool("deterministic", true, "fixed-schedule reductions: results bitwise-identical for any -threads")
+		overlap  = flag.Bool("overlap", false, "phased NMP pipeline: overlap halo communication with interior compute (bitwise-identical results; no-op with -attention)")
 	)
 	flag.Parse()
 
@@ -85,6 +87,7 @@ func main() {
 		cfg = meshgnn.LargeConfig()
 	}
 	cfg.Attention = *attn
+	cfg.Overlap = *overlap
 	// Parallelism is configured once, above, via SetParallelism; the
 	// Config knob stays zero so model construction (and checkpoint
 	// loading) cannot re-apply a second, divergent setting.
@@ -102,8 +105,12 @@ func main() {
 		log.Fatal(err)
 	}
 	effThreads, _ := meshgnn.Parallelism()
-	say("mesh %d^3 elements p=%d (%d nodes), %d ranks (%s transport), %s exchange, %s model (%d params), %d intra-rank threads\n",
-		*elems, *p, m.NumNodes(), nRanks, transport, mode, cfg.Name, cfg.ParamCount(), effThreads)
+	overlapLabel := "sync"
+	if *overlap {
+		overlapLabel = "overlapped"
+	}
+	say("mesh %d^3 elements p=%d (%d nodes), %d ranks (%s transport), %s exchange (%s), %s model (%d params), %d intra-rank threads\n",
+		*elems, *p, m.NumNodes(), nRanks, transport, mode, overlapLabel, cfg.Name, cfg.ParamCount(), effThreads)
 
 	if *verify && !worker {
 		diff, err := meshgnn.VerifyConsistency(sys, cfg, mode, f, *t0)
@@ -127,11 +134,15 @@ func main() {
 	// ranks alike.
 	var curve []float64
 	var saved []byte
+	var timing meshgnn.StepTiming
 	err = sys.RunOn(transport, mode, func(r *meshgnn.Rank) error {
 		var mdl *meshgnn.Model
 		var err error
 		if checkpoint != nil {
 			mdl, err = meshgnn.LoadModel(bytes.NewReader(checkpoint))
+			if err == nil {
+				mdl.SetOverlap(*overlap) // the flag, not the checkpoint, decides
+			}
 		} else {
 			mdl, err = meshgnn.NewModel(cfg)
 		}
@@ -139,6 +150,7 @@ func main() {
 			return err
 		}
 		trainer := meshgnn.NewTrainer(mdl, meshgnn.NewAdam(*lr))
+		tm := trainer.EnableTiming()
 		var ds meshgnn.Dataset
 		ds.Add(r.Sample(f, *t0), r.Sample(f, *t1))
 		epochLosses := trainer.Fit(r.Ctx, &ds, meshgnn.FitOptions{
@@ -151,6 +163,7 @@ func main() {
 			return nil
 		}
 		curve = epochLosses
+		timing = *tm
 		if *saveTo != "" {
 			var buf bytes.Buffer
 			if err := meshgnn.SaveModel(&buf, mdl); err != nil {
@@ -183,6 +196,20 @@ func main() {
 	fmt.Printf("%9d  %.8f\n", len(curve), curve[len(curve)-1])
 	fmt.Printf("\nfinal loss %.3g (reduced %.1fx from iteration 1)\n",
 		curve[len(curve)-1], curve[0]/curve[len(curve)-1])
+
+	if timing.Steps > 0 {
+		n := float64(timing.Steps)
+		ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 / n }
+		fmt.Printf("\nper-step phase breakdown (rank 0, avg over %d steps, %s pipeline):\n", timing.Steps, overlapLabel)
+		fmt.Printf("  forward   %8.3f ms\n", ms(timing.Forward))
+		fmt.Printf("  halo      %8.3f ms  (exposed %.3f ms — comm not hidden by compute)\n",
+			ms(timing.Halo), ms(timing.HaloExposed))
+		fmt.Printf("  loss      %8.3f ms\n", ms(timing.Loss))
+		fmt.Printf("  backward  %8.3f ms\n", ms(timing.Backward))
+		fmt.Printf("  allreduce %8.3f ms\n", ms(timing.AllReduce))
+		fmt.Printf("  optimizer %8.3f ms\n", ms(timing.Optimizer))
+		fmt.Printf("  total     %8.3f ms\n", ms(timing.Total()))
+	}
 }
 
 func parseMode(s string) (meshgnn.ExchangeMode, error) {

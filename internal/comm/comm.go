@@ -53,8 +53,15 @@ type Stats struct {
 	AllToAlls     int64
 	HaloExchanges int64
 	// HaloSeconds accumulates wall time spent inside halo exchanges
-	// (pack, transfer, unpack), for time-breakdown reporting.
+	// (pack, post, wait, unpack), for time-breakdown reporting.
 	HaloSeconds float64
+	// HaloExposedSeconds is the subset of HaloSeconds spent blocked in
+	// Finish waiting for messages that had not yet arrived — the
+	// communication time the rank could not hide behind compute. With the
+	// synchronous exchange (Start immediately followed by Finish) this is
+	// essentially the whole transfer time; the overlapped pipeline shrinks
+	// it toward zero as interior compute covers the transfer.
+	HaloExposedSeconds float64
 }
 
 // BytesSent returns the total point-to-point payload volume in bytes.
@@ -67,6 +74,12 @@ type World struct {
 	// mail[dst][src] carries messages from src to dst. Buffered so that
 	// all ranks can post their sends before any receives complete.
 	mail [][]chan message
+	// pools[dst][src] recycles payload buffers flowing src→dst: the
+	// sender draws its copy from the pair's pool and the receiver returns
+	// it once the ownership window closes (its next receive from src), so
+	// steady-state traffic on the channel fabric allocates nothing — the
+	// same discipline the socket fabric's per-peer free lists implement.
+	pools [][]bufPool
 }
 
 // mailboxDepth bounds the number of in-flight messages per (src,dst) pair.
@@ -81,9 +94,10 @@ func NewWorld(size int) *World {
 	if size < 1 {
 		panic(fmt.Sprintf("comm: world size must be >= 1, got %d", size))
 	}
-	w := &World{size: size, mail: make([][]chan message, size)}
+	w := &World{size: size, mail: make([][]chan message, size), pools: make([][]bufPool, size)}
 	for dst := range w.mail {
 		w.mail[dst] = make([]chan message, size)
+		w.pools[dst] = make([]bufPool, size)
 		for src := range w.mail[dst] {
 			w.mail[dst][src] = make(chan message, mailboxDepth)
 		}
@@ -91,10 +105,16 @@ func NewWorld(size int) *World {
 	return w
 }
 
-// worldTransport is one rank's endpoint onto the channel fabric.
+// worldTransport is one rank's endpoint onto the channel fabric. lastF
+// and lastI track, per source, the payload most recently handed to the
+// caller; it is returned to the pair's pool when the next receive from
+// that source runs, realizing the Transport ownership contract.
 type worldTransport struct {
-	w    *World
-	rank int
+	w     *World
+	rank  int
+	lastF [][]float64 // indexed by src
+	lastI [][]int64
+	reqs  requestPool
 }
 
 // Transport returns the in-process transport endpoint for the given rank.
@@ -102,7 +122,12 @@ func (w *World) Transport(rank int) Transport {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
 	}
-	return &worldTransport{w: w, rank: rank}
+	return &worldTransport{
+		w:     w,
+		rank:  rank,
+		lastF: make([][]float64, w.size),
+		lastI: make([][]int64, w.size),
+	}
 }
 
 func (t *worldTransport) Rank() int           { return t.rank }
@@ -111,38 +136,103 @@ func (t *worldTransport) Kind() TransportKind { return InProcess }
 func (t *worldTransport) Close() error        { return nil }
 
 // Send transmits a copy of data (the channel hands the same backing array
-// to the receiver, so the copy realizes the non-retention contract). It
-// never blocks as long as fewer than mailboxDepth messages are in flight
-// between the pair.
+// to the receiver, so the copy realizes the non-retention contract). The
+// copy comes from the pair's recycling pool, so steady-state traffic
+// allocates nothing. Send never blocks as long as fewer than mailboxDepth
+// messages are in flight between the pair.
 func (t *worldTransport) Send(dst int, tag Tag, data []float64) {
-	cp := make([]float64, len(data))
+	cp := t.w.pools[dst][t.rank].getFloats(len(data))
 	copy(cp, data)
 	t.w.mail[dst][t.rank] <- message{tag: tag, data: cp}
 }
 
+// recycleF closes the ownership window of the previous float payload from
+// src, returning it to the pair's pool for the sender to reuse.
+func (t *worldTransport) recycleF(src int) {
+	if b := t.lastF[src]; b != nil {
+		t.lastF[src] = nil
+		t.w.pools[t.rank][src].putFloats(b)
+	}
+}
+
+func (t *worldTransport) recycleI(src int) {
+	if b := t.lastI[src]; b != nil {
+		t.lastI[src] = nil
+		t.w.pools[t.rank][src].putInts(b)
+	}
+}
+
 func (t *worldTransport) Recv(src int, tag Tag) []float64 {
+	t.recycleF(src)
 	m := <-t.w.mail[t.rank][src]
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
 			t.rank, tag, src, m.tag))
 	}
+	t.lastF[src] = m.data
 	return m.data
 }
 
 func (t *worldTransport) SendInts(dst int, tag Tag, data []int64) {
-	cp := make([]int64, len(data))
+	cp := t.w.pools[dst][t.rank].getInts(len(data))
 	copy(cp, data)
 	t.w.mail[dst][t.rank] <- message{tag: tag, ints: cp}
 }
 
 func (t *worldTransport) RecvInts(src int, tag Tag) []int64 {
+	t.recycleI(src)
 	m := <-t.w.mail[t.rank][src]
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected int tag %d from %d, got %d",
 			t.rank, tag, src, m.tag))
 	}
+	t.lastI[src] = m.ints
 	return m.ints
 }
+
+// IsendF64 is the nonblocking send: the channel fabric sends eagerly (the
+// pooled copy decouples the caller's buffer immediately), so the returned
+// request is born complete.
+func (t *worldTransport) IsendF64(dst int, tag Tag, data []float64) *Request {
+	t.Send(dst, tag, data)
+	return t.reqs.get(t, false, dst, tag)
+}
+
+// IrecvF64 posts a nonblocking receive; the message is pulled from the
+// pair's channel on Wait/Test.
+func (t *worldTransport) IrecvF64(src int, tag Tag) *Request {
+	return t.reqs.get(t, true, src, tag)
+}
+
+// progress implements reqOwner: it pulls the next message from the
+// request's source, blocking or polling.
+func (t *worldTransport) progress(r *Request, block bool) bool {
+	if !r.recv {
+		return true
+	}
+	var m message
+	if block {
+		m = <-t.w.mail[t.rank][r.peer]
+	} else {
+		select {
+		case m = <-t.w.mail[t.rank][r.peer]:
+		default:
+			return false
+		}
+	}
+	if m.tag != r.tag || m.data == nil && m.ints != nil {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d (floats) from %d, got tag %d",
+			t.rank, r.tag, r.peer, m.tag))
+	}
+	// The previous payload's ownership window closes as this receive
+	// completes.
+	t.recycleF(r.peer)
+	t.lastF[r.peer] = m.data
+	r.data = m.data
+	return true
+}
+
+func (t *worldTransport) releaseRequest(r *Request) { t.reqs.put(r) }
 
 // Comm is one rank's handle onto the world: a Transport endpoint plus the
 // collective algorithms and traffic counters. A Comm must only be used
@@ -192,6 +282,22 @@ func (c *Comm) Send(dst int, tag Tag, data []float64) {
 // the next Recv from the same source (see Transport's ownership contract).
 func (c *Comm) Recv(src int, tag Tag) []float64 {
 	return c.t.Recv(src, tag)
+}
+
+// Isend begins a nonblocking send (Transport.IsendF64) and returns its
+// pooled Request. Traffic counters are charged at post time.
+func (c *Comm) Isend(dst int, tag Tag, data []float64) *Request {
+	r := c.t.IsendF64(dst, tag, data)
+	c.Stats.MessagesSent++
+	c.Stats.FloatsSent += int64(len(data))
+	return r
+}
+
+// Irecv posts a nonblocking receive (Transport.IrecvF64); the payload is
+// collected through the Request's Wait under the transport ownership
+// contract.
+func (c *Comm) Irecv(src int, tag Tag) *Request {
+	return c.t.IrecvF64(src, tag)
 }
 
 // SendInts transmits an int64 payload (used by setup exchanges of global
@@ -310,6 +416,14 @@ func (c *Comm) AllGather(local []float64) []float64 {
 // torch.empty(0) buffers skip communication entirely). Received buffers
 // follow the transport ownership contract: each recv[i] is valid until
 // the next Recv from rank i (the next AllToAll at the earliest).
+//
+// The halo Exchanger no longer calls this collective: its Start/Finish
+// halves post the identical A2A / N-A2A wire pattern (same tag, same
+// per-pair message order, same AllToAlls counter) through the
+// nonblocking request primitives so the wait can overlap with compute.
+// This blocking spelling remains the collective API; the cross-transport
+// and overlap consistency harnesses pin the two spellings to the same
+// wire behavior.
 func (c *Comm) AllToAll(send [][]float64) [][]float64 {
 	if len(send) != c.Size() {
 		panic(fmt.Sprintf("comm: AllToAll needs %d buffers, got %d", c.Size(), len(send)))

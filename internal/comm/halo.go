@@ -111,17 +111,24 @@ func ParseExchangeMode(s string) (ExchangeMode, error) {
 // the ranks that produced the values and accumulate into their local-row
 // gradients. Together they make the consistent NMP layer differentiable
 // end-to-end (the paper's Eq. 3).
+//
+// Each direction is split into Start/Finish halves built on the
+// transports' nonblocking requests: Start packs and posts every send and
+// receive, Finish waits for the receives (in ascending neighbor order, so
+// the adjoint's scatter-add accumulation order — and hence every output
+// bit — is independent of arrival order) and unpacks. Forward and Adjoint
+// are the synchronous compositions Start-then-Finish; the phased NMP
+// pipeline calls the halves directly and runs interior compute between
+// them. Request slots and staging buffers are recycled across exchanges,
+// so a steady-state exchange allocates nothing on either transport.
 type Exchanger struct {
 	Mode ExchangeMode
 	Plan *HaloPlan
 
 	// packBuf reuses per-neighbor gather buffers across exchanges
-	// (Send copies payloads, so reuse is safe). Keyed by neighbor
+	// (sends complete eagerly, so reuse is safe). Keyed by neighbor
 	// index; resized when the column count changes.
 	packBuf [][]float64
-	// sendTable is the reusable rank-indexed send pointer table for the
-	// AllToAll modes.
-	sendTable [][]float64
 	// uniformBuf holds the padded per-destination payloads of
 	// AllToAllMode. Entries are zero beyond each neighbor's (fixed)
 	// payload length, and non-neighbor entries stay all-zero "dummy"
@@ -129,6 +136,20 @@ type Exchanger struct {
 	// count (and hence the uniform width) changes.
 	uniformBuf   [][]float64
 	uniformWidth int
+
+	// In-flight exchange state. sendReqs/recvReqs are the recycled
+	// request slot tables: indexed by neighbor for the neighbor-only
+	// modes, by rank for AllToAllMode (nil for self). nbOf maps a rank to
+	// its neighbor index (-1 for dummy A2A peers), built lazily.
+	sendReqs []*Request
+	recvReqs []*Request
+	nbOf     []int
+	// pendDst and pendAdjoint carry the scatter target between Start and
+	// Finish; inflight guards against mismatched Start/Finish pairs.
+	pendDst     *tensor.Matrix
+	pendAdjoint bool
+	pendCols    int
+	inflight    bool
 }
 
 // NewExchanger validates the plan for the mode. AllToAllMode requires
@@ -154,21 +175,92 @@ func NewExchanger(mode ExchangeMode, plan *HaloPlan) (*Exchanger, error) {
 // rows (their SendIdx) of src. src holds local rows; halo holds halo rows.
 // With NoExchange it is a no-op, leaving halo untouched.
 func (e *Exchanger) Forward(c *Comm, src, halo *tensor.Matrix) {
-	e.exchange(c, src, halo, false)
+	e.StartForward(c, src, halo)
+	e.FinishForward(c)
 }
 
 // Adjoint scatters the halo-row gradients (gathered from haloGrad at
 // RecvIdx) back into the neighbors' local-row gradients (accumulated into
 // srcGrad at SendIdx). It is the exact transpose of Forward.
 func (e *Exchanger) Adjoint(c *Comm, haloGrad, srcGrad *tensor.Matrix) {
-	e.exchange(c, haloGrad, srcGrad, true)
+	e.StartAdjoint(c, haloGrad, srcGrad)
+	e.FinishAdjoint(c)
 }
 
-// exchange implements both directions. In the forward direction we gather
-// SendIdx rows from a and write received buffers into b at RecvIdx rows.
-// In the adjoint direction we gather RecvIdx rows from a and scatter-add
-// received buffers into b at SendIdx rows.
-func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
+// StartForward packs this rank's shared rows of src and puts the halo
+// payloads on the wire: every send and every receive is posted
+// nonblocking, and the call returns while the messages fly. The caller
+// must not modify the packed rows' source of truth (src's SendIdx rows)
+// concurrently — though sends complete eagerly on the shipped transports,
+// the contract keeps future transports free to defer the copy. halo must
+// stay untouched until FinishForward scatters into it.
+func (e *Exchanger) StartForward(c *Comm, src, halo *tensor.Matrix) {
+	e.start(c, src, halo, false)
+}
+
+// FinishForward waits for the posted receives (ascending neighbor order)
+// and fills halo's RecvIdx rows. Every StartForward must be matched by
+// exactly one FinishForward before the next exchange starts.
+func (e *Exchanger) FinishForward(c *Comm) { e.finish(c) }
+
+// StartAdjoint posts the reverse-direction exchange: halo-row gradients
+// (gathered from haloGrad at RecvIdx) travel back toward the ranks whose
+// aggregates produced them. srcGrad's shared rows must not be read as
+// final until FinishAdjoint has accumulated the incoming contributions.
+func (e *Exchanger) StartAdjoint(c *Comm, haloGrad, srcGrad *tensor.Matrix) {
+	e.start(c, haloGrad, srcGrad, true)
+}
+
+// FinishAdjoint waits for the posted receives and scatter-adds them into
+// srcGrad at SendIdx rows, in ascending neighbor order — the same
+// accumulation order as the synchronous exchange, so overlapping changes
+// no output bit.
+func (e *Exchanger) FinishAdjoint(c *Comm) { e.finish(c) }
+
+// pack gathers the rows of a listed in idx into the k-th staging buffer.
+func (e *Exchanger) pack(k int, a *tensor.Matrix, idx []int, cols int) []float64 {
+	need := len(idx) * cols
+	if cap(e.packBuf[k]) < need {
+		e.packBuf[k] = make([]float64, need)
+	}
+	buf := e.packBuf[k][:need]
+	for row, i := range idx {
+		copy(buf[row*cols:(row+1)*cols], a.Row(i))
+	}
+	return buf
+}
+
+// unpack scatters one received buffer into the pending target matrix:
+// copy in the forward direction, accumulate in the adjoint.
+func (e *Exchanger) unpack(buf []float64, idx []int) {
+	cols := e.pendCols
+	if len(buf) < len(idx)*cols {
+		panic(fmt.Sprintf("comm: short halo buffer %d < %d", len(buf), len(idx)*cols))
+	}
+	for row, i := range idx {
+		seg := buf[row*cols : (row+1)*cols]
+		dst := e.pendDst.Row(i)
+		if e.pendAdjoint {
+			for j, v := range seg {
+				dst[j] += v
+			}
+		} else {
+			copy(dst, seg)
+		}
+	}
+}
+
+// start implements both directions. In the forward direction we gather
+// SendIdx rows from a and (at Finish) write received buffers into b at
+// RecvIdx rows. In the adjoint direction we gather RecvIdx rows from a
+// and scatter-add received buffers into b at SendIdx rows.
+func (e *Exchanger) start(c *Comm, a, b *tensor.Matrix, adjoint bool) {
+	if e.inflight {
+		panic("comm: halo exchange already in flight (missing Finish)")
+	}
+	e.inflight = true
+	e.pendDst = b
+	e.pendAdjoint = adjoint
 	if e.Mode == NoExchange {
 		return
 	}
@@ -177,70 +269,39 @@ func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 	if b.Cols != cols {
 		panic(fmt.Sprintf("comm: exchange column mismatch %d vs %d", a.Cols, b.Cols))
 	}
+	e.pendCols = cols
 	c.Stats.HaloExchanges++
 	start := time.Now()
 	defer func() { c.Stats.HaloSeconds += time.Since(start).Seconds() }()
 
 	gatherIdx := plan.SendIdx
-	scatterIdx := plan.RecvIdx
 	if adjoint {
-		gatherIdx, scatterIdx = plan.RecvIdx, plan.SendIdx
+		gatherIdx = plan.RecvIdx
 	}
-
 	if e.packBuf == nil {
 		e.packBuf = make([][]float64, len(plan.Neighbors))
 	}
-	pack := func(k int) []float64 {
-		idx := gatherIdx[k]
-		need := len(idx) * cols
-		if cap(e.packBuf[k]) < need {
-			e.packBuf[k] = make([]float64, need)
-		}
-		buf := e.packBuf[k][:need]
-		for row, i := range idx {
-			copy(buf[row*cols:(row+1)*cols], a.Row(i))
-		}
-		return buf
-	}
-	unpack := func(k int, buf []float64) {
-		idx := scatterIdx[k]
-		if len(buf) < len(idx)*cols {
-			panic(fmt.Sprintf("comm: short halo buffer %d < %d", len(buf), len(idx)*cols))
-		}
-		for row, i := range idx {
-			seg := buf[row*cols : (row+1)*cols]
-			dst := b.Row(i)
-			if adjoint {
-				for j, v := range seg {
-					dst[j] += v
-				}
-			} else {
-				copy(dst, seg)
-			}
-		}
-	}
 
 	switch e.Mode {
-	case SendRecvMode:
+	case SendRecvMode, NeighborAllToAll:
+		// Both modes exchange only real neighbor payloads; N-A2A is the
+		// collective spelling (empty buffers between non-neighbors skip
+		// communication entirely), so it degenerates to the same wire
+		// traffic under a collective tag and counter.
 		tag := TagHaloForward
 		if adjoint {
 			tag = TagHaloAdjoint
 		}
+		if e.Mode == NeighborAllToAll {
+			tag = TagAllToAll
+			c.Stats.AllToAlls++
+		}
+		e.sizeReqs(len(plan.Neighbors))
 		for k, nb := range plan.Neighbors {
-			c.Send(nb, tag, pack(k))
+			e.sendReqs[k] = c.Isend(nb, tag, e.pack(k, a, gatherIdx[k], cols))
 		}
 		for k, nb := range plan.Neighbors {
-			unpack(k, c.Recv(nb, tag))
-		}
-
-	case NeighborAllToAll:
-		send := e.sendPointerTable(c.Size())
-		for k, nb := range plan.Neighbors {
-			send[nb] = pack(k)
-		}
-		recv := c.AllToAll(send)
-		for k, nb := range plan.Neighbors {
-			unpack(k, recv[nb])
+			e.recvReqs[k] = c.Irecv(nb, tag)
 		}
 
 	case AllToAllMode:
@@ -251,10 +312,12 @@ func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 		// exchanges: each neighbor's payload length is fixed by the
 		// plan, so overwriting the payload prefix leaves the zero
 		// padding intact.
+		c.Stats.AllToAlls++
 		width := plan.MaxSendCount * cols
-		if e.uniformBuf == nil || len(e.uniformBuf) != c.Size() || e.uniformWidth != width {
-			e.uniformBuf = make([][]float64, c.Size())
-			for dst := 0; dst < c.Size(); dst++ {
+		size := c.Size()
+		if e.uniformBuf == nil || len(e.uniformBuf) != size || e.uniformWidth != width {
+			e.uniformBuf = make([][]float64, size)
+			for dst := 0; dst < size; dst++ {
 				if dst == c.rank {
 					continue
 				}
@@ -262,28 +325,91 @@ func (e *Exchanger) exchange(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 			}
 			e.uniformWidth = width
 		}
-		send := e.sendPointerTable(c.Size())
-		for dst := 0; dst < c.Size(); dst++ {
-			if dst != c.rank {
-				send[dst] = e.uniformBuf[dst]
+		if len(e.nbOf) != size {
+			e.nbOf = make([]int, size)
+			for r := range e.nbOf {
+				e.nbOf[r] = -1
+			}
+			for k, nb := range plan.Neighbors {
+				e.nbOf[nb] = k
 			}
 		}
 		for k, nb := range plan.Neighbors {
-			copy(send[nb], pack(k))
+			copy(e.uniformBuf[nb], e.pack(k, a, gatherIdx[k], cols))
 		}
-		recv := c.AllToAll(send)
-		for k, nb := range plan.Neighbors {
-			unpack(k, recv[nb])
+		e.sizeReqs(size)
+		for dst := 0; dst < size; dst++ {
+			if dst == c.rank {
+				e.sendReqs[dst] = nil
+				continue
+			}
+			e.sendReqs[dst] = c.Isend(dst, TagAllToAll, e.uniformBuf[dst])
+		}
+		for src := 0; src < size; src++ {
+			if src == c.rank {
+				e.recvReqs[src] = nil
+				continue
+			}
+			e.recvReqs[src] = c.Irecv(src, TagAllToAll)
 		}
 	}
 }
 
-// sendPointerTable returns the reusable rank-indexed send table with every
-// entry reset to nil.
-func (e *Exchanger) sendPointerTable(size int) [][]float64 {
-	if len(e.sendTable) != size {
-		e.sendTable = make([][]float64, size)
+// finish waits for the in-flight exchange's receives in slot order and
+// scatters them into the pending target. The wall time spent blocked on
+// not-yet-arrived messages accumulates into Stats.HaloExposedSeconds —
+// the exposed communication cost the overlap pipeline exists to hide.
+func (e *Exchanger) finish(c *Comm) {
+	if !e.inflight {
+		panic("comm: halo Finish without a matching Start")
 	}
-	clear(e.sendTable)
-	return e.sendTable
+	e.inflight = false
+	if e.Mode == NoExchange {
+		e.pendDst = nil
+		return
+	}
+	plan := e.Plan
+	start := time.Now()
+	exposed := 0.0
+
+	scatterIdx := plan.RecvIdx
+	if e.pendAdjoint {
+		scatterIdx = plan.SendIdx
+	}
+	for slot, req := range e.recvReqs {
+		if req == nil {
+			continue
+		}
+		e.recvReqs[slot] = nil
+		w := time.Now()
+		buf := req.Wait()
+		exposed += time.Since(w).Seconds()
+		k := slot
+		if e.Mode == AllToAllMode {
+			k = e.nbOf[slot]
+			if k < 0 {
+				continue // dummy traffic from a non-neighbor
+			}
+		}
+		e.unpack(buf, scatterIdx[k])
+	}
+	for slot, req := range e.sendReqs {
+		if req != nil {
+			e.sendReqs[slot] = nil
+			req.Wait()
+		}
+	}
+	e.pendDst = nil
+	c.Stats.HaloSeconds += time.Since(start).Seconds()
+	c.Stats.HaloExposedSeconds += exposed
+}
+
+// sizeReqs sizes the recycled request slot tables.
+func (e *Exchanger) sizeReqs(n int) {
+	if cap(e.sendReqs) < n {
+		e.sendReqs = make([]*Request, n)
+		e.recvReqs = make([]*Request, n)
+	}
+	e.sendReqs = e.sendReqs[:n]
+	e.recvReqs = e.recvReqs[:n]
 }

@@ -1,0 +1,109 @@
+package comm
+
+// Request is the handle of a nonblocking point-to-point operation
+// (Transport.IsendF64 / Transport.IrecvF64) — the library's stand-in for
+// MPI_Request in the paper's custom isend/irecv halo implementation.
+//
+// Lifecycle and ownership contract:
+//
+//   - Requests are pooled per transport endpoint: Wait returns the handle
+//     to its endpoint's free list, so a steady-state exchange pattern
+//     (post, compute, Wait, repeat) performs no heap allocation. A Request
+//     must not be touched after Wait returns.
+//   - Test polls for completion without blocking and without releasing the
+//     handle; it may be called any number of times, and Wait must still be
+//     called afterwards to collect the payload and release the handle
+//     ("Wait-after-Test" is the normal completion sequence for pollers).
+//   - For receives, Wait returns the message payload under the same
+//     ownership rule as blocking Recv: the slice belongs to the transport
+//     and stays valid until the next receive — blocking or nonblocking —
+//     completes from the same source. For sends, Wait returns nil.
+//   - Both shipped transports complete sends eagerly (the channel fabric
+//     copies into a pooled buffer; the socket fabric writes the frame to
+//     the kernel before returning), so a send Request is born complete and
+//     the data buffer may be reused as soon as IsendF64 returns. The
+//     Request is still returned so callers can treat both directions
+//     uniformly, and so future transports may defer the copy.
+//   - At most one receive may be outstanding per source at a time, and a
+//     pending IrecvF64 must not be interleaved with a blocking Recv from
+//     the same source: per-pair delivery is FIFO, so the next frame from
+//     that source answers whichever receive runs first.
+//   - Requests are not goroutine-safe: they must be posted, tested, and
+//     waited on the goroutine that owns the transport endpoint (the rank
+//     goroutine), like every other Transport operation.
+type Request struct {
+	owner reqOwner
+	recv  bool
+	peer  int
+	tag   Tag
+	data  []float64
+	done  bool
+}
+
+// reqOwner is the transport-side completion engine behind a Request.
+type reqOwner interface {
+	// progress attempts to complete the request, blocking if block is
+	// set. It returns whether the request is now complete, filling
+	// r.data for receives. With block=true it must complete or panic.
+	progress(r *Request, block bool) bool
+	// releaseRequest resets the handle and returns it to the endpoint's
+	// free list.
+	releaseRequest(r *Request)
+}
+
+// Test reports whether the operation has completed, without blocking and
+// without releasing the handle. Once Test has returned true, Wait returns
+// immediately.
+func (r *Request) Test() bool {
+	if r.done {
+		return true
+	}
+	r.done = r.owner.progress(r, false)
+	return r.done
+}
+
+// Wait blocks until the operation completes, releases the handle back to
+// its endpoint's pool, and returns the received payload (nil for sends).
+// The Request must not be used after Wait returns.
+func (r *Request) Wait() []float64 {
+	if !r.done {
+		r.owner.progress(r, true)
+		r.done = true
+	}
+	data := r.data
+	r.owner.releaseRequest(r)
+	return data
+}
+
+// requestPool is a per-endpoint free list of Request handles. Endpoints
+// are single-goroutine (see Transport), so no locking is needed.
+type requestPool struct {
+	free []*Request
+}
+
+// get pops (or makes) a handle and initializes it for one operation.
+// Send requests (recv=false) are born complete under the eager-send
+// semantics of the shipped transports.
+func (p *requestPool) get(owner reqOwner, recv bool, peer int, tag Tag) *Request {
+	var r *Request
+	if n := len(p.free); n > 0 {
+		r = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		r = new(Request)
+	}
+	r.owner = owner
+	r.recv = recv
+	r.peer = peer
+	r.tag = tag
+	r.data = nil
+	r.done = !recv
+	return r
+}
+
+// put resets a handle and returns it to the free list.
+func (p *requestPool) put(r *Request) {
+	r.owner = nil
+	r.data = nil
+	p.free = append(p.free, r)
+}

@@ -79,11 +79,13 @@ type frame struct {
 	i    []int64
 }
 
-// bufPool recycles payload slices between a peer's reader goroutine and
-// the receiving rank. It scans for a buffer with sufficient capacity so
-// mixed message sizes from the same peer (halo payloads interleaved with
+// bufPool recycles payload slices between a producer (a peer's reader
+// goroutine on the socket fabric, the sending rank on the channel
+// fabric) and the receiving rank. It hands out the best-fitting buffer —
+// the smallest with sufficient capacity — so mixed message sizes flowing
+// through the same pool (halo payloads interleaved with loss scalars and
 // gradient chunks) each settle on their own reused buffer instead of
-// thrashing the allocator.
+// stealing across size classes and thrashing the allocator.
 type bufPool struct {
 	mu sync.Mutex
 	f  [][]float64
@@ -92,14 +94,18 @@ type bufPool struct {
 
 func (bp *bufPool) getFloats(n int) []float64 {
 	bp.mu.Lock()
+	best := -1
 	for k := len(bp.f) - 1; k >= 0; k-- {
-		if cap(bp.f[k]) >= n {
-			b := bp.f[k]
-			bp.f[k] = bp.f[len(bp.f)-1]
-			bp.f = bp.f[:len(bp.f)-1]
-			bp.mu.Unlock()
-			return b[:n]
+		if c := cap(bp.f[k]); c >= n && (best < 0 || c < cap(bp.f[best])) {
+			best = k
 		}
+	}
+	if best >= 0 {
+		b := bp.f[best]
+		bp.f[best] = bp.f[len(bp.f)-1]
+		bp.f = bp.f[:len(bp.f)-1]
+		bp.mu.Unlock()
+		return b[:n]
 	}
 	bp.mu.Unlock()
 	return make([]float64, n)
@@ -115,14 +121,18 @@ func (bp *bufPool) putFloats(b []float64) {
 
 func (bp *bufPool) getInts(n int) []int64 {
 	bp.mu.Lock()
+	best := -1
 	for k := len(bp.i) - 1; k >= 0; k-- {
-		if cap(bp.i[k]) >= n {
-			b := bp.i[k]
-			bp.i[k] = bp.i[len(bp.i)-1]
-			bp.i = bp.i[:len(bp.i)-1]
-			bp.mu.Unlock()
-			return b[:n]
+		if c := cap(bp.i[k]); c >= n && (best < 0 || c < cap(bp.i[best])) {
+			best = k
 		}
+	}
+	if best >= 0 {
+		b := bp.i[best]
+		bp.i[best] = bp.i[len(bp.i)-1]
+		bp.i = bp.i[:len(bp.i)-1]
+		bp.mu.Unlock()
+		return b[:n]
 	}
 	bp.mu.Unlock()
 	return make([]int64, n)
@@ -174,6 +184,7 @@ type SocketTransport struct {
 	kind  TransportKind
 	ln    net.Listener
 	peers []*peer // indexed by rank; peers[rank] is the loopback
+	reqs  requestPool
 }
 
 // NewSocketTransport establishes this rank's endpoint of the socket
@@ -477,6 +488,59 @@ func (t *SocketTransport) RecvInts(src int, tag Tag) []int64 {
 	p.lastI = fr.i
 	return fr.i
 }
+
+// IsendF64 is the nonblocking send. The frame is written to the stream
+// (or the loopback inbox) before returning — the kernel's socket buffer
+// plus the remote peer's dedicated reader goroutine make the write
+// effectively asynchronous — so the returned request is born complete and
+// data may be reused immediately.
+func (t *SocketTransport) IsendF64(dst int, tag Tag, data []float64) *Request {
+	t.Send(dst, tag, data)
+	return t.reqs.get(t, false, dst, tag)
+}
+
+// IrecvF64 posts a nonblocking receive: the per-peer reader goroutine
+// decodes the frame into the peer's inbox concurrently with the caller's
+// compute, and Wait/Test pull it out.
+func (t *SocketTransport) IrecvF64(src int, tag Tag) *Request {
+	return t.reqs.get(t, true, src, tag)
+}
+
+// progress implements reqOwner: it pulls the next frame from the
+// request's source inbox, blocking or polling, and recycles the
+// previously returned payload exactly as blocking Recv does.
+func (t *SocketTransport) progress(r *Request, block bool) bool {
+	if !r.recv {
+		return true
+	}
+	p := t.peer(r.peer)
+	var fr frame
+	var ok bool
+	if block {
+		fr, ok = <-p.inbox
+	} else {
+		select {
+		case fr, ok = <-p.inbox:
+		default:
+			return false
+		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("comm: rank %d recv from %d: connection closed (%v)", t.rank, r.peer, p.readErr))
+	}
+	if fr.kind != frameFloats || fr.tag != r.tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d (floats) from %d, got tag %d kind %q",
+			t.rank, r.tag, r.peer, fr.tag, fr.kind))
+	}
+	if p.lastF != nil {
+		p.pool.putFloats(p.lastF)
+	}
+	p.lastF = fr.f
+	r.data = fr.f
+	return true
+}
+
+func (t *SocketTransport) releaseRequest(r *Request) { t.reqs.put(r) }
 
 func (t *SocketTransport) peer(r int) *peer {
 	if r < 0 || r >= t.size {

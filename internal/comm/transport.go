@@ -22,12 +22,18 @@ import "fmt"
 // arbitrarily. Tags exist to fail loudly on mispaired patterns, not to
 // reorder delivery.
 //
-// Ownership contract: the slice returned by Recv/RecvInts is owned by the
-// transport and is only guaranteed valid until the next Recv/RecvInts
-// from the same source. Callers that retain payloads must copy them (all
-// collectives in this package consume payloads immediately). Send may
-// read from data only until it returns; callers may reuse the buffer
-// afterwards.
+// Ownership contract: the slice returned by Recv/RecvInts (or by a
+// receive Request's Wait) is owned by the transport and is only
+// guaranteed valid until the next receive from the same source completes.
+// Callers that retain payloads must copy them (all collectives in this
+// package consume payloads immediately). Send may read from data only
+// until it returns; callers may reuse the buffer afterwards.
+//
+// Nonblocking contract: IsendF64/IrecvF64 return pooled Request handles
+// (see Request) so halo exchanges can be split into Start/Finish halves
+// that overlap communication with compute. Completion order across
+// different sources is unconstrained; within one source, receives
+// complete in send order (per-pair FIFO).
 type Transport interface {
 	// Rank returns this endpoint's rank index.
 	Rank() int
@@ -43,6 +49,15 @@ type Transport interface {
 	// exchanges of global node IDs.
 	SendInts(dst int, tag Tag, data []int64)
 	RecvInts(src int, tag Tag) []int64
+	// IsendF64 begins a nonblocking send of a float64 payload and returns
+	// a pooled Request handle. The shipped transports complete sends
+	// eagerly, so data may be reused as soon as IsendF64 returns; see the
+	// Request ownership contract for the general rule.
+	IsendF64(dst int, tag Tag, data []float64) *Request
+	// IrecvF64 posts a nonblocking receive of the next float64 payload
+	// from src. The payload becomes available through the returned
+	// Request's Wait; at most one receive may be outstanding per source.
+	IrecvF64(src int, tag Tag) *Request
 	// Kind reports which fabric this transport realizes.
 	Kind() TransportKind
 	// Close releases the transport's resources (connections, listeners).

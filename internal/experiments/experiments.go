@@ -352,20 +352,25 @@ func measuredRankBody(c *comm.Comm, box *mesh.Box, l *graph.Local, mode comm.Exc
 	perRun = c.Stats
 	perRun.MessagesSent -= base.MessagesSent
 	perRun.FloatsSent -= base.FloatsSent
+	perRun.HaloSeconds -= base.HaloSeconds
+	perRun.HaloExposedSeconds -= base.HaloExposedSeconds
 	return elapsed, perRun, int64(rc.Graph.NumLocal()), nil
 }
 
 // measuredPoint assembles the report row from one rank's measurement.
 func measuredPoint(cfg gnn.Config, mode comm.ExchangeMode, r int, nodes int64, secPerIter float64, stats comm.Stats, iters int) MeasuredPoint {
 	return MeasuredPoint{
-		Model:        cfg.Name,
-		Mode:         mode,
-		Ranks:        r,
-		NodesPerRank: nodes,
-		SecPerIter:   secPerIter,
-		Throughput:   float64(r) * float64(nodes) / secPerIter,
-		Messages:     stats.MessagesSent / int64(iters),
-		Floats:       stats.FloatsSent / int64(iters),
+		Model:          cfg.Name,
+		Mode:           mode,
+		Overlap:        cfg.Overlap,
+		Ranks:          r,
+		NodesPerRank:   nodes,
+		SecPerIter:     secPerIter,
+		Throughput:     float64(r) * float64(nodes) / secPerIter,
+		Messages:       stats.MessagesSent / int64(iters),
+		Floats:         stats.FloatsSent / int64(iters),
+		HaloSecPerIter: stats.HaloSeconds / float64(iters),
+		ExposedPerIter: stats.HaloExposedSeconds / float64(iters),
 	}
 }
 

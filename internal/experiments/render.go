@@ -82,14 +82,19 @@ func RenderFig7(w io.Writer, pts []ScalingPoint) {
 	}
 }
 
-// RenderMeasured writes the measured tier table.
+// RenderMeasured writes the measured tier table, including the per-phase
+// halo time and its exposed (not hidden behind compute) subset.
 func RenderMeasured(w io.Writer, pts []MeasuredPoint) {
-	fmt.Fprintln(w, "| model | mode | ranks | nodes/rank | s/iter | throughput (nodes/s) | relative | msgs/iter | floats/iter |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|")
+	fmt.Fprintln(w, "| model | mode | overlap | ranks | nodes/rank | s/iter | throughput (nodes/s) | relative | halo s/iter | exposed s/iter | msgs/iter | floats/iter |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|---|---|")
 	for _, p := range pts {
-		fmt.Fprintf(w, "| %s | %s | %d | %d | %.4f | %.3g | %.3f | %d | %d |\n",
-			p.Model, p.Mode, p.Ranks, p.NodesPerRank, p.SecPerIter, p.Throughput,
-			p.Relative, p.Messages, p.Floats)
+		overlap := "off"
+		if p.Overlap {
+			overlap = "on"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %d | %d | %.4f | %.3g | %.3f | %.5f | %.5f | %d | %d |\n",
+			p.Model, p.Mode, overlap, p.Ranks, p.NodesPerRank, p.SecPerIter, p.Throughput,
+			p.Relative, p.HaloSecPerIter, p.ExposedPerIter, p.Messages, p.Floats)
 	}
 }
 

@@ -145,8 +145,11 @@ func Fig7Frontier(m perfmodel.Machine, p int, rs []int, loadings []Loading, cfgs
 
 // MeasuredPoint is one point of the measured (goroutine-rank) tier.
 type MeasuredPoint struct {
-	Model        string
-	Mode         comm.ExchangeMode
+	Model string
+	Mode  comm.ExchangeMode
+	// Overlap records whether the phased (overlapped) NMP pipeline was
+	// active for this point.
+	Overlap      bool
 	Ranks        int
 	NodesPerRank int64
 	SecPerIter   float64
@@ -159,6 +162,12 @@ type MeasuredPoint struct {
 	// traffic the perfmodel charges for.
 	Messages int64
 	Floats   int64
+	// HaloSecPerIter is rank 0's wall time inside halo exchanges per
+	// iteration; ExposedPerIter is the subset spent blocked on messages
+	// that had not yet arrived (the communication cost not hidden behind
+	// compute — the quantity the overlapped pipeline shrinks).
+	HaloSecPerIter float64
+	ExposedPerIter float64
 }
 
 // Fig7Measured runs the real distributed trainer on goroutine ranks over

@@ -51,6 +51,16 @@ type Config struct {
 	// layer (the generalization the paper sketches at the end of
 	// Sec. II-B).
 	Attention bool
+	// Overlap selects the phased NMP pipeline: each layer aggregates its
+	// boundary (shared) rows first, puts the halo payloads on the wire,
+	// and computes the interior aggregation and node-input assembly while
+	// the messages fly, absorbing the arrivals afterwards in the same
+	// owner-grouped deterministic order as the synchronous path. Results
+	// are bitwise identical to Overlap=false on every transport and
+	// exchange mode — overlap is a scheduling property, not an arithmetic
+	// one. Attention layers keep their synchronous exchanges (the knob is
+	// a no-op for Attention=true).
+	Overlap bool
 	// Seed drives the deterministic parameter initialization; every
 	// rank constructing the same Config holds identical parameters.
 	Seed int64

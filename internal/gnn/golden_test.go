@@ -26,9 +26,9 @@ const goldenLossPath = "testdata/golden_losses.txt"
 // fully periodic mesh on two slab ranks, the seeded small model, N-A2A
 // halo exchange, Adam, 12 steps. Returns rank 0's per-step consistent
 // losses. The deterministic engine makes the result independent of thread
-// count, transport, and scheduling — so any change is an intentional
-// arithmetic change, not noise.
-func goldenRun(t *testing.T) []float64 {
+// count, transport, scheduling, and the overlap setting — so any change
+// is an intentional arithmetic change, not noise.
+func goldenRun(t *testing.T, overlap, sockets bool) []float64 {
 	t.Helper()
 	parallel.Configure(1, true)
 	defer parallel.Configure(0, true)
@@ -44,12 +44,14 @@ func goldenRun(t *testing.T) []float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := comm.RunCollect(2, func(c *comm.Comm) ([]float64, error) {
+	cfg := SmallConfig()
+	cfg.Overlap = overlap
+	body := func(c *comm.Comm) ([]float64, error) {
 		rc, err := NewRankContext(c, box, locals[c.Rank()], comm.NeighborAllToAll)
 		if err != nil {
 			return nil, err
 		}
-		model, err := NewModel(SmallConfig())
+		model, err := NewModel(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +62,13 @@ func goldenRun(t *testing.T) []float64 {
 			losses[i] = tr.Step(rc, x, x)
 		}
 		return losses, nil
-	})
+	}
+	var results [][]float64
+	if sockets {
+		results, err = comm.RunSocketsCollect(2, body)
+	} else {
+		results, err = comm.RunCollect(2, body)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +86,12 @@ func goldenRun(t *testing.T) []float64 {
 // and commit the new golden alongside the kernel change. The golden
 // records amd64/go1.24 arithmetic; a legitimately differing platform
 // (e.g. FMA contraction on another architecture) should regenerate too.
+//
+// The same golden must hold with the overlapped pipeline on either
+// transport — overlap is bitwise-invisible — which the (overlap,
+// transport) sweep below asserts against the identical file.
 func TestGoldenLossesBitwise(t *testing.T) {
-	losses := goldenRun(t)
+	losses := goldenRun(t, false, false)
 
 	if *updateGolden {
 		var sb strings.Builder
@@ -124,5 +136,27 @@ func TestGoldenLossesBitwise(t *testing.T) {
 				"if a kernel change intentionally regrouped arithmetic, regenerate with -update",
 				i+1, v, bits, math.Float64frombits(want[i]), want[i])
 		}
+	}
+
+	for _, run := range []struct {
+		name             string
+		overlap, sockets bool
+	}{
+		{"overlap/inproc", true, false},
+		{"sync/sockets", false, true},
+		{"overlap/sockets", true, true},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			got := goldenRun(t, run.overlap, run.sockets)
+			if len(got) != len(want) {
+				t.Fatalf("produced %d steps, golden has %d", len(got), len(want))
+			}
+			for i, v := range got {
+				if bits := math.Float64bits(v); bits != want[i] {
+					t.Errorf("step %d: loss %.17g (%016x) != golden %016x — overlap/transport must be bitwise-invisible",
+						i+1, v, bits, want[i])
+				}
+			}
+		})
 	}
 }

@@ -83,7 +83,9 @@ func NewModel(cfg Config) (*Model, error) {
 		if cfg.Attention {
 			m.Layers = append(m.Layers, NewAttentionLayer(fmt.Sprintf("att%d", i), h, cfg.MLPHiddenLayers, rng))
 		} else {
-			m.Layers = append(m.Layers, NewNMPLayer(fmt.Sprintf("nmp%d", i), h, cfg.MLPHiddenLayers, rng))
+			l := NewNMPLayer(fmt.Sprintf("nmp%d", i), h, cfg.MLPHiddenLayers, rng)
+			l.Overlap = cfg.Overlap
+			m.Layers = append(m.Layers, l)
 		}
 	}
 	m.Decoder = nn.NewMLP("dec.node", h, h, cfg.OutputNodeFeatures, cfg.MLPHiddenLayers, false, rng)
@@ -111,6 +113,20 @@ func NewModel(cfg Config) (*Model, error) {
 		}
 	}
 	return m, nil
+}
+
+// SetOverlap toggles the phased (overlapped) NMP pipeline at runtime, for
+// models whose Config predates the knob (e.g. loaded checkpoints).
+// Results are bitwise-identical either way — overlap is a scheduling
+// property — so flipping it between steps is safe. Attention layers keep
+// their synchronous exchanges and are unaffected.
+func (m *Model) SetOverlap(on bool) {
+	m.Config.Overlap = on
+	for _, l := range m.Layers {
+		if nmp, ok := l.(*NMPLayer); ok {
+			nmp.Overlap = on
+		}
+	}
 }
 
 // Params returns all trainable parameters in deterministic order.

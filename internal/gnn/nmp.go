@@ -36,6 +36,18 @@ import (
 // staging, node inputs, and all backward intermediates) comes from the
 // shared workspace arena: after the first step the layer allocates
 // nothing.
+//
+// Overlap selects the phased pipeline: the halo exchange of (4c) is split
+// into its Start/Finish halves and the rank computes while the messages
+// fly. Forward aggregates the boundary (shared) rows first, posts the
+// sends, then aggregates the interior rows and assembles the interior
+// node-MLP inputs before waiting; Backward posts the adjoint sends right
+// after the halo-gradient gather and computes the interior edge-gradient
+// work (the edge-MLP's input gradient rows whose receivers no incoming
+// message can touch) while the exchange completes. Every row's arithmetic
+// and every accumulation order is identical to the synchronous path, so
+// the results — losses, gradients, trained parameters — are bitwise
+// unchanged for any transport and thread count.
 type NMPLayer struct {
 	EdgeMLP *nn.MLP // (x_dst ‖ x_src ‖ e) → H
 	NodeMLP *nn.MLP // (a* ‖ x) → H
@@ -44,6 +56,10 @@ type NMPLayer struct {
 	// that double-counts shared-face edges and breaks consistency; used
 	// to demonstrate why the scaling is load-bearing.
 	DisableDegreeScaling bool
+
+	// Overlap runs the phased pipeline (set from Config.Overlap by
+	// NewModel; bitwise-identical to the synchronous path).
+	Overlap bool
 
 	arena *tensor.Arena
 
@@ -57,6 +73,7 @@ type NMPLayer struct {
 	edgeInT nmpEdgeInTask
 	aggT    nmpAggTask
 	absorbT nmpAbsorbTask
+	hcatT   nmpHCatTask
 	dHaloT  nmpDHaloTask
 	dEOutT  nmpDEOutTask
 }
@@ -108,16 +125,24 @@ func (t *nmpEdgeInTask) Run(lo, hi int) {
 // nmpAggTask is the degree-scaled receiver aggregation (4b): each worker
 // owns a span of receiver rows and walks its incoming edges in canonical
 // order — the same per-row summation order as a serial edge sweep, for
-// any thread count.
+// any thread count. With nodes set, the span indexes into that row list
+// instead of [0, NumLocal): the phased pipeline runs the boundary and
+// interior sub-ranges of the boundary-first permutation as two disjoint
+// passes, leaving every row's sum — and hence every bit — unchanged.
 type nmpAggTask struct {
 	g          *graph.Local
 	eOut, agg  *tensor.Matrix
 	disableDeg bool
+	nodes      []int
 }
 
 func (t *nmpAggTask) Run(lo, hi int) {
 	g := t.g
-	for i := lo; i < hi; i++ {
+	for p := lo; p < hi; p++ {
+		i := p
+		if t.nodes != nil {
+			i = t.nodes[p]
+		}
 		dst := t.agg.Row(i)
 		for k := g.RecvStart[i]; k < g.RecvStart[i+1]; k++ {
 			src := t.eOut.Row(k)
@@ -135,22 +160,47 @@ func (t *nmpAggTask) Run(lo, hi int) {
 // nmpAbsorbTask is the synchronization step (4d): owners absorb their halo
 // copies through the owner-grouped halo CSR, each owner row written by
 // exactly one worker, contributions applied in ascending halo-row order
-// (the serial sweep's order).
+// (the serial sweep's order). nodes optionally restricts the sweep to a
+// row list (the boundary prefix — interior rows own no halo copies, so
+// the restriction drops only no-ops).
 type nmpAbsorbTask struct {
 	g         *graph.Local
 	agg, halo *tensor.Matrix
+	nodes     []int
 }
 
 func (t *nmpAbsorbTask) Run(lo, hi int) {
 	g := t.g
-	for i := lo; i < hi; i++ {
+	for p := lo; p < hi; p++ {
+		i := p
+		if t.nodes != nil {
+			i = t.nodes[p]
+		}
 		dst := t.agg.Row(i)
-		for p := g.HaloStart[i]; p < g.HaloStart[i+1]; p++ {
-			src := t.halo.Row(g.HaloPerm[p])
+		for q := g.HaloStart[i]; q < g.HaloStart[i+1]; q++ {
+			src := t.halo.Row(g.HaloPerm[q])
 			for j, v := range src {
 				dst[j] += v
 			}
 		}
+	}
+}
+
+// nmpHCatTask assembles node-MLP input rows (a* ‖ x) for the rows listed
+// in nodes — the phased pipeline's split of tensor.HCatInto, row-for-row
+// identical copies.
+type nmpHCatTask struct {
+	agg, x, out *tensor.Matrix
+	h           int
+	nodes       []int
+}
+
+func (t *nmpHCatTask) Run(lo, hi int) {
+	for p := lo; p < hi; p++ {
+		i := t.nodes[p]
+		row := t.out.Row(i)
+		copy(row[:t.h], t.agg.Row(i))
+		copy(row[t.h:], t.x.Row(i))
 	}
 }
 
@@ -169,16 +219,26 @@ func (t *nmpDHaloTask) Run(lo, hi int) {
 }
 
 // nmpDEOutTask is the aggregation backward (4b adjoint):
-// de_k = dAgg[dst_k] / d_k, a pure gather per edge.
+// de_k = dAgg[dst_k] / d_k, a pure gather per edge. With edges set, the
+// span indexes into that edge list (the boundary-first edge permutation's
+// sub-ranges) and the upstream deOut gradient is folded in per edge —
+// two separately rounded steps, exactly like the synchronous path's
+// gather followed by tensor.AddScaled.
 type nmpDEOutTask struct {
 	g          *graph.Local
 	dAgg, dOut *tensor.Matrix
 	disableDeg bool
+	edges      []int
+	deOut      *tensor.Matrix
 }
 
 func (t *nmpDEOutTask) Run(lo, hi int) {
 	g := t.g
-	for k := lo; k < hi; k++ {
+	for p := lo; p < hi; p++ {
+		k := p
+		if t.edges != nil {
+			k = t.edges[p]
+		}
 		src := t.dAgg.Row(g.Edges[k][1])
 		dst := t.dOut.Row(k)
 		inv := 1.0
@@ -187,6 +247,11 @@ func (t *nmpDEOutTask) Run(lo, hi int) {
 		}
 		for j, v := range src {
 			dst[j] = inv * v
+		}
+		if t.deOut != nil {
+			for j, v := range t.deOut.Row(k) {
+				dst[j] += v
+			}
 		}
 	}
 }
@@ -207,28 +272,53 @@ func (l *NMPLayer) Forward(rc *RankContext, x, e *tensor.Matrix) (xOut, eOut *te
 	eOut = l.EdgeMLP.Forward(l.edgeIn)
 	tensor.AddScaled(eOut, 1, e) // residual
 
-	// (4b) degree-scaled local aggregation at the receiver. Edges are
-	// sorted by destination, so RecvStart partitions them by receiver.
+	// (4b)–(4d): degree-scaled receiver aggregation, halo swap, and
+	// owner-grouped synchronization. The halo staging buffer is zeroed
+	// because NoExchange leaves it untouched (and must then contribute
+	// exactly nothing in 4d).
 	agg := l.arena.GetZeroed(g.NumLocal(), h)
-	l.aggT = nmpAggTask{g: g, eOut: eOut, agg: agg, disableDeg: l.DisableDegreeScaling}
-	parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.aggT)
-
-	// (4c) halo swap of the local aggregates. The halo staging buffer is
-	// zeroed because NoExchange leaves it untouched (and must then
-	// contribute exactly nothing in 4d).
 	l.haloRows = g.NumHalo()
 	halo := l.arena.GetZeroed(l.haloRows, h)
-	l.rc.Ex.Forward(rc.Comm, agg, halo)
+	l.nodeIn = l.arena.Get(g.NumLocal(), 2*h)
 
-	// (4d) synchronization: owners absorb their halo copies, partitioned
-	// by owner through the owner-grouped halo CSR (every graph builder
-	// populates it, and Validate enforces its coherence).
-	l.absorbT = nmpAbsorbTask{g: g, agg: agg, halo: halo}
-	parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.absorbT)
+	if l.Overlap {
+		// Phased pipeline: aggregate the boundary rows (everything the
+		// plan sends), put the halo payloads on the wire, and hide the
+		// transfer behind the interior aggregation and the interior half
+		// of the (4e) input assembly. Each row is aggregated exactly once
+		// with the same per-row edge order as the synchronous sweep.
+		l.aggT = nmpAggTask{g: g, eOut: eOut, agg: agg,
+			disableDeg: l.DisableDegreeScaling, nodes: g.NodeOrder[:g.NumBoundary]}
+		parallel.ForTask(g.NumBoundary, edgeGrain(h), &l.aggT)
+		rc.Ex.StartForward(rc.Comm, agg, halo)
+
+		l.aggT.nodes = g.NodeOrder[g.NumBoundary:]
+		parallel.ForTask(g.NumLocal()-g.NumBoundary, edgeGrain(h), &l.aggT)
+		l.hcatT = nmpHCatTask{agg: agg, x: x, out: l.nodeIn, h: h,
+			nodes: g.NodeOrder[g.NumBoundary:]}
+		parallel.ForTask(g.NumLocal()-g.NumBoundary, edgeGrain(h), &l.hcatT)
+
+		rc.Ex.FinishForward(rc.Comm)
+		// (4d) on the boundary prefix only — interior rows own no halo
+		// copies (Validate enforces it), so nothing is dropped.
+		l.absorbT = nmpAbsorbTask{g: g, agg: agg, halo: halo, nodes: g.NodeOrder[:g.NumBoundary]}
+		parallel.ForTask(g.NumBoundary, edgeGrain(h), &l.absorbT)
+		l.hcatT.nodes = g.NodeOrder[:g.NumBoundary]
+		parallel.ForTask(g.NumBoundary, edgeGrain(h), &l.hcatT)
+	} else {
+		l.aggT = nmpAggTask{g: g, eOut: eOut, agg: agg, disableDeg: l.DisableDegreeScaling}
+		parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.aggT)
+		l.rc.Ex.Forward(rc.Comm, agg, halo)
+		// (4d) synchronization: owners absorb their halo copies,
+		// partitioned by owner through the owner-grouped halo CSR (every
+		// graph builder populates it, and Validate enforces its
+		// coherence).
+		l.absorbT = nmpAbsorbTask{g: g, agg: agg, halo: halo}
+		parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.absorbT)
+		tensor.HCatInto(l.nodeIn, agg, x)
+	}
 
 	// (4e) node update with residual.
-	l.nodeIn = l.arena.Get(g.NumLocal(), 2*h)
-	tensor.HCatInto(l.nodeIn, agg, x)
 	xOut = l.NodeMLP.Forward(l.nodeIn)
 	tensor.AddScaled(xOut, 1, x)
 	return xOut, eOut
@@ -263,16 +353,30 @@ func (l *NMPLayer) Backward(dxOut, deOut *tensor.Matrix) (dx, de *tensor.Matrix)
 	parallel.ForTask(l.haloRows, edgeGrain(h), &l.dHaloT)
 
 	// (4c) halo swap adjoint: halo gradients scatter-add into the
-	// neighbors' local aggregate gradients.
-	rc.Ex.Adjoint(rc.Comm, dHalo, dAgg)
-
-	// (4b) aggregation backward: de_k = dAgg[dst_k] / d_k. A pure gather
-	// per edge — every edge row written exactly once.
+	// neighbors' local aggregate gradients. (4b) aggregation backward:
+	// de_k = dAgg[dst_k] / d_k plus the direct deOut path — a gather per
+	// edge, every edge row written exactly once.
 	dEOut := l.arena.Get(g.NumEdges(), h)
-	l.dEOutT = nmpDEOutTask{g: g, dAgg: dAgg, dOut: dEOut, disableDeg: l.DisableDegreeScaling}
-	parallel.ForTask(g.NumEdges(), edgeGrain(h), &l.dEOutT)
-	// deOut also flows directly into eOut (it is returned upward).
-	tensor.AddScaled(dEOut, 1, deOut)
+	if l.Overlap {
+		// Phased adjoint: the exchange only accumulates into boundary
+		// rows of dAgg, so the gather for interior-receiver edges is
+		// independent edge-MLP input work that runs while the gradients
+		// fly; the boundary-receiver gather waits for FinishAdjoint.
+		rc.Ex.StartAdjoint(rc.Comm, dHalo, dAgg)
+		l.dEOutT = nmpDEOutTask{g: g, dAgg: dAgg, dOut: dEOut,
+			disableDeg: l.DisableDegreeScaling,
+			edges:      g.EdgeOrder[g.NumBoundaryEdges:], deOut: deOut}
+		parallel.ForTask(g.NumEdges()-g.NumBoundaryEdges, edgeGrain(h), &l.dEOutT)
+		rc.Ex.FinishAdjoint(rc.Comm)
+		l.dEOutT.edges = g.EdgeOrder[:g.NumBoundaryEdges]
+		parallel.ForTask(g.NumBoundaryEdges, edgeGrain(h), &l.dEOutT)
+	} else {
+		rc.Ex.Adjoint(rc.Comm, dHalo, dAgg)
+		l.dEOutT = nmpDEOutTask{g: g, dAgg: dAgg, dOut: dEOut, disableDeg: l.DisableDegreeScaling}
+		parallel.ForTask(g.NumEdges(), edgeGrain(h), &l.dEOutT)
+		// deOut also flows directly into eOut (it is returned upward).
+		tensor.AddScaled(dEOut, 1, deOut)
+	}
 
 	// (4a) edge update backward; residual passes dEOut to de.
 	dEdgeIn := l.EdgeMLP.Backward(dEOut)

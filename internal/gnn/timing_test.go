@@ -75,3 +75,60 @@ func TestHaloSecondsCounted(t *testing.T) {
 		}
 	}
 }
+
+// TestStepTimingHaloSplit pins the Halo phase split: with a real exchange
+// the trainer books halo time (and its exposed subset) separately from
+// Forward/Backward; with NoExchange both stay zero.
+func TestStepTimingHaloSplit(t *testing.T) {
+	box, err := mesh.NewBox(4, 2, 2, 1, [3]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.NewCartesian(box, 2, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := graph.BuildAll(box, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, overlap := range []bool{false, true} {
+		for _, mode := range []comm.ExchangeMode{comm.NoExchange, comm.SendRecvMode} {
+			cfg := tinyConfig()
+			cfg.Overlap = overlap
+			results, err := comm.RunCollect(2, func(c *comm.Comm) (*StepTiming, error) {
+				rc, err := NewRankContext(c, box, locals[c.Rank()], mode)
+				if err != nil {
+					return nil, err
+				}
+				model, _ := NewModel(cfg)
+				tr := NewTrainer(model, nn.NewSGD(0.01))
+				timing := tr.EnableTiming()
+				x := waveField(rc.Graph)
+				tr.Step(rc, x, x)
+				tr.Step(rc, x, x)
+				return timing, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tm := results[0]
+			if mode == comm.NoExchange {
+				if tm.Halo != 0 || tm.HaloExposed != 0 {
+					t.Errorf("overlap=%v: no-exchange run booked halo time %v (exposed %v)",
+						overlap, tm.Halo, tm.HaloExposed)
+				}
+				continue
+			}
+			if tm.Halo <= 0 {
+				t.Errorf("overlap=%v: exchange run booked no halo time: %+v", overlap, tm)
+			}
+			if tm.HaloExposed > tm.Halo {
+				t.Errorf("overlap=%v: exposed %v exceeds halo %v", overlap, tm.HaloExposed, tm.Halo)
+			}
+			if tm.Total() <= 0 || tm.Forward <= 0 {
+				t.Errorf("overlap=%v: degenerate breakdown: %+v", overlap, tm)
+			}
+		}
+	}
+}

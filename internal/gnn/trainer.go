@@ -37,10 +37,16 @@ type Trainer struct {
 
 // StepTiming is the accumulated per-phase breakdown of training steps:
 // where an iteration's time goes, the decomposition behind the paper's
-// communication-cost analysis.
+// communication-cost analysis. Halo is the wall time inside the halo
+// exchanges (pack, post, wait, unpack), split out of the Forward and
+// Backward phases it executes within, so those report pure compute.
+// HaloExposed is the subset of Halo spent blocked on messages that had
+// not yet arrived — the communication cost the rank failed to hide. With
+// the synchronous exchange, HaloExposed ≈ the transfer time; the
+// overlapped pipeline (Config.Overlap) shrinks it toward zero.
 type StepTiming struct {
-	Forward, Loss, Backward, AllReduce, Optimizer time.Duration
-	Steps                                         int
+	Forward, Halo, HaloExposed, Loss, Backward, AllReduce, Optimizer time.Duration
+	Steps                                                            int
 }
 
 // EnableTiming switches on per-phase timing and returns the accumulator.
@@ -49,9 +55,10 @@ func (t *Trainer) EnableTiming() *StepTiming {
 	return t.Timing
 }
 
-// Total returns the summed time across phases.
+// Total returns the summed time across phases. HaloExposed is a subset of
+// Halo, not an additional phase.
 func (st *StepTiming) Total() time.Duration {
-	return st.Forward + st.Loss + st.Backward + st.AllReduce + st.Optimizer
+	return st.Forward + st.Halo + st.Loss + st.Backward + st.AllReduce + st.Optimizer
 }
 
 // NewTrainer pairs a model with an optimizer.
@@ -64,10 +71,27 @@ func NewTrainer(m *Model, opt nn.Optimizer) *Trainer {
 // All ranks must call Step collectively with their own x and target.
 func (t *Trainer) Step(rc *RankContext, x, target *tensor.Matrix) float64 {
 	mark := time.Now()
+	var haloBase, exposedBase float64
+	if t.Timing != nil {
+		haloBase = rc.Comm.Stats.HaloSeconds
+		exposedBase = rc.Comm.Stats.HaloExposedSeconds
+	}
+	// lap books the phase's wall time, first peeling off any halo time the
+	// comm layer accumulated during it (Forward/Backward run the
+	// exchanges), so compute phases report compute only.
 	lap := func(dst *time.Duration) {
 		if t.Timing != nil {
 			now := time.Now()
-			*dst += now.Sub(mark)
+			d := now.Sub(mark)
+			if h := rc.Comm.Stats.HaloSeconds; h > haloBase {
+				hd := time.Duration((h - haloBase) * float64(time.Second))
+				t.Timing.Halo += hd
+				d -= hd
+				haloBase = h
+			}
+			if d > 0 {
+				*dst += d
+			}
 			mark = now
 		}
 	}
@@ -99,6 +123,9 @@ func (t *Trainer) Step(rc *RankContext, x, target *tensor.Matrix) float64 {
 	t.Opt.Step(t.Model.Params())
 	if t.Timing != nil {
 		lap(&t.Timing.Optimizer)
+		if e := rc.Comm.Stats.HaloExposedSeconds; e > exposedBase {
+			t.Timing.HaloExposed += time.Duration((e - exposedBase) * float64(time.Second))
+		}
 		t.Timing.Steps++
 	}
 	t.step++

@@ -75,6 +75,27 @@ type Local struct {
 	// serial halo-row sweep — so the sum is bitwise-identical.
 	HaloPerm  []int
 	HaloStart []int
+	// NodeOrder is the boundary-first permutation of local rows:
+	// NodeOrder[:NumBoundary] are the boundary nodes — the rows shared
+	// with other ranks (NodeDegree > 1), exactly the rows the halo plan
+	// sends and the rows owning halo copies — in ascending row order, and
+	// NodeOrder[NumBoundary:] are the interior rows, also ascending. The
+	// overlapped NMP pipeline aggregates the boundary sub-range first, puts
+	// its halo payloads on the wire, and hides the transfer behind the
+	// interior sub-range. Because the per-row arithmetic is untouched and
+	// the two sub-ranges are disjoint, the split changes no output bit.
+	NodeOrder   []int
+	NumBoundary int
+	// EdgeOrder is the matching boundary-first permutation of edge
+	// indices: EdgeOrder[:NumBoundaryEdges] are the edges received by
+	// boundary nodes — the edges whose aggregates cross rank boundaries —
+	// grouped by receiver in NodeOrder order (each receiver's run is its
+	// RecvStart range, preserving the canonical per-receiver edge order),
+	// and EdgeOrder[NumBoundaryEdges:] are the interior-receiver edges.
+	// The backward pipeline gathers interior edge gradients while the
+	// adjoint exchange is still accumulating into boundary rows.
+	EdgeOrder        []int
+	NumBoundaryEdges int
 	// GlobalNodes is the unique node count of the full graph, for
 	// convenience in loss normalization checks.
 	GlobalNodes int64
@@ -282,6 +303,38 @@ func (l *Local) buildCSR() {
 	for hr, owner := range l.HaloOwner {
 		l.HaloPerm[hfill[owner]] = hr
 		hfill[owner]++
+	}
+
+	// Interior/boundary decomposition: boundary-first node permutation
+	// (shared rows ascending, then interior rows ascending) and the
+	// receiver-grouped edge permutation it induces through RecvStart.
+	l.NodeOrder = make([]int, n)
+	nb := 0
+	for i := 0; i < n; i++ {
+		if l.NodeDegree[i] > 1 {
+			l.NodeOrder[nb] = i
+			nb++
+		}
+	}
+	l.NumBoundary = nb
+	pos := nb
+	for i := 0; i < n; i++ {
+		if l.NodeDegree[i] <= 1 {
+			l.NodeOrder[pos] = i
+			pos++
+		}
+	}
+	l.EdgeOrder = make([]int, len(l.Edges))
+	pos = 0
+	for ord, i := range l.NodeOrder {
+		for k := l.RecvStart[i]; k < l.RecvStart[i+1]; k++ {
+			l.EdgeOrder[pos] = k
+			pos++
+		}
+		if ord == nb-1 {
+			// Total in-degree of the boundary prefix.
+			l.NumBoundaryEdges = pos
+		}
 	}
 }
 

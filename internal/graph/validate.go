@@ -117,6 +117,66 @@ func (l *Local) Validate() error {
 			}
 		}
 	}
+
+	// Interior/boundary decomposition: NodeOrder must list exactly the
+	// shared rows (degree > 1) ascending, then the interior rows
+	// ascending. The overlapped NMP pipeline relies on the prefix covering
+	// every row the halo plan touches, which this block enforces
+	// transitively: every SendIdx row has degree >= 2 (checked above) and
+	// every degree>1 row must sit in the boundary prefix (checked here),
+	// so sends ⊆ prefix; halo owners ⊆ prefix because interior rows are
+	// required to own no halo copies (below) and the halo CSR covers
+	// every owner (checked above).
+	if len(l.NodeOrder) != n {
+		return fmt.Errorf("graph: NodeOrder has %d entries for %d nodes", len(l.NodeOrder), n)
+	}
+	if l.NumBoundary < 0 || l.NumBoundary > n {
+		return fmt.Errorf("graph: NumBoundary %d out of range [0,%d]", l.NumBoundary, n)
+	}
+	for pos, i := range l.NodeOrder {
+		if i < 0 || i >= n {
+			return fmt.Errorf("graph: NodeOrder[%d] = %d out of range", pos, i)
+		}
+		boundary := pos < l.NumBoundary
+		if (l.NodeDegree[i] > 1) != boundary {
+			return fmt.Errorf("graph: NodeOrder[%d] = %d (degree %v) on the wrong side of the boundary split",
+				pos, i, l.NodeDegree[i])
+		}
+		ascendingFrom := 0
+		if !boundary {
+			ascendingFrom = l.NumBoundary
+		}
+		if pos > ascendingFrom && l.NodeOrder[pos-1] >= i {
+			return fmt.Errorf("graph: NodeOrder not ascending within its partition at %d", pos)
+		}
+		if boundary && l.HaloStart[i+1] == l.HaloStart[i] {
+			return fmt.Errorf("graph: boundary node %d owns no halo copies", i)
+		}
+		if !boundary && l.HaloStart[i+1] != l.HaloStart[i] {
+			return fmt.Errorf("graph: interior node %d owns halo copies", i)
+		}
+	}
+	// EdgeOrder must be the receiver-grouped permutation NodeOrder induces
+	// through RecvStart (each receiver's run in canonical edge order), with
+	// NumBoundaryEdges the total in-degree of the boundary prefix.
+	if len(l.EdgeOrder) != len(l.Edges) {
+		return fmt.Errorf("graph: EdgeOrder has %d entries for %d edges", len(l.EdgeOrder), len(l.Edges))
+	}
+	pos := 0
+	for ord, i := range l.NodeOrder {
+		for k := l.RecvStart[i]; k < l.RecvStart[i+1]; k++ {
+			if l.EdgeOrder[pos] != k {
+				return fmt.Errorf("graph: EdgeOrder[%d] = %d, want %d (receiver %d)", pos, l.EdgeOrder[pos], k, i)
+			}
+			pos++
+		}
+		if ord == l.NumBoundary-1 && l.NumBoundaryEdges != pos {
+			return fmt.Errorf("graph: NumBoundaryEdges %d, boundary prefix in-degree %d", l.NumBoundaryEdges, pos)
+		}
+	}
+	if l.NumBoundary == 0 && l.NumBoundaryEdges != 0 {
+		return fmt.Errorf("graph: NumBoundaryEdges %d with no boundary nodes", l.NumBoundaryEdges)
+	}
 	return nil
 }
 

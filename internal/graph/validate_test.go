@@ -133,3 +133,119 @@ func TestValidateDetectsEdgeWeightGap(t *testing.T) {
 		t.Fatal("no shared edge found")
 	})
 }
+
+// TestBoundaryDecomposition pins the interior/boundary split the
+// overlapped NMP pipeline consumes: the boundary prefix of NodeOrder is
+// exactly the shared rows, interior rows own no halo copies and are never
+// sent, and EdgeOrder is the receiver-grouped permutation with the
+// boundary in-degree as its prefix length.
+func TestBoundaryDecomposition(t *testing.T) {
+	b := box(t, 4, 4, 2, 2, [3]bool{true, false, false})
+	part, err := partition.NewCartesian(b, 4, partition.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := BuildAll(b, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range locals {
+		boundary := make(map[int]bool, l.NumBoundary)
+		for _, i := range l.NodeOrder[:l.NumBoundary] {
+			boundary[i] = true
+		}
+		if len(boundary) != l.NumBoundary {
+			t.Fatalf("rank %d: duplicate boundary rows", l.Rank)
+		}
+		for i, d := range l.NodeDegree {
+			if (d > 1) != boundary[i] {
+				t.Errorf("rank %d node %d: degree %v, boundary=%v", l.Rank, i, d, boundary[i])
+			}
+		}
+		// Every row the plan sends must be in the boundary prefix.
+		for k := range l.Plan.Neighbors {
+			for _, i := range l.Plan.SendIdx[k] {
+				if !boundary[i] {
+					t.Errorf("rank %d: sent row %d not in boundary prefix", l.Rank, i)
+				}
+			}
+		}
+		// Every halo owner must be in the boundary prefix.
+		for _, owner := range l.HaloOwner {
+			if !boundary[owner] {
+				t.Errorf("rank %d: halo owner %d not in boundary prefix", l.Rank, owner)
+			}
+		}
+		// Boundary edges are exactly those received by boundary rows.
+		nb := 0
+		for k, e := range l.Edges {
+			if boundary[e[1]] {
+				nb++
+			} else {
+				_ = k
+			}
+		}
+		if nb != l.NumBoundaryEdges {
+			t.Errorf("rank %d: %d boundary-receiver edges, NumBoundaryEdges=%d", l.Rank, nb, l.NumBoundaryEdges)
+		}
+		for pos, k := range l.EdgeOrder {
+			if want := pos < l.NumBoundaryEdges; boundary[l.Edges[k][1]] != want {
+				t.Errorf("rank %d: EdgeOrder[%d]=%d receiver on wrong side of split", l.Rank, pos, k)
+			}
+		}
+	}
+	// A single-rank graph has an empty boundary.
+	single, err := BuildSingle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.NumBoundary != 0 || single.NumBoundaryEdges != 0 {
+		t.Errorf("R=1 boundary: %d nodes, %d edges", single.NumBoundary, single.NumBoundaryEdges)
+	}
+	if len(single.NodeOrder) != single.NumLocal() || len(single.EdgeOrder) != single.NumEdges() {
+		t.Errorf("R=1 permutation sizes: %d/%d", len(single.NodeOrder), len(single.EdgeOrder))
+	}
+}
+
+// TestValidateCatchesDecompositionCorruption checks the validator rejects
+// a graph whose boundary-first permutation was tampered with.
+func TestValidateCatchesDecompositionCorruption(t *testing.T) {
+	b := box(t, 4, 2, 2, 1, [3]bool{})
+	part, err := partition.NewCartesian(b, 2, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := BuildAll(b, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := locals[0]
+	if l.NumBoundary == 0 || l.NumBoundary == l.NumLocal() {
+		t.Fatal("test mesh has no interior/boundary mix")
+	}
+	corrupt := func(name string, mutate, restore func()) {
+		mutate()
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: corruption not caught", name)
+		}
+		restore()
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: restore failed: %v", name, err)
+		}
+	}
+	// Swap a boundary row with an interior row.
+	bi, ii := 0, l.NumBoundary
+	corrupt("node split",
+		func() { l.NodeOrder[bi], l.NodeOrder[ii] = l.NodeOrder[ii], l.NodeOrder[bi] },
+		func() { l.NodeOrder[bi], l.NodeOrder[ii] = l.NodeOrder[ii], l.NodeOrder[bi] })
+	// Shrink the boundary edge count.
+	corrupt("edge split",
+		func() { l.NumBoundaryEdges-- },
+		func() { l.NumBoundaryEdges++ })
+	// Reorder two edges of the receiver-grouped permutation.
+	if l.NumBoundaryEdges >= 2 {
+		corrupt("edge order",
+			func() { l.EdgeOrder[0], l.EdgeOrder[1] = l.EdgeOrder[1], l.EdgeOrder[0] },
+			func() { l.EdgeOrder[0], l.EdgeOrder[1] = l.EdgeOrder[1], l.EdgeOrder[0] })
+	}
+}

@@ -302,13 +302,30 @@ var bufPool sync.Pool
 func getBuf(n int) *[]float64 {
 	if v := bufPool.Get(); v != nil {
 		p := v.(*[]float64)
-		if cap(*p) >= n {
+		if cap(*p) < n {
+			// Grow the pooled box in place instead of discarding it:
+			// reductions of different accumulator widths share this pool,
+			// and concurrent ranks interleave their get/put sequences, so
+			// a too-small pop would otherwise recur indefinitely (pop
+			// small, drop it, allocate big, repeat). Growing converges —
+			// every box monotonically reaches the largest width it ever
+			// serves — and the donated spare provisions the pool for two
+			// goroutines demanding this width at once (a rank preempted
+			// mid-reduction while another rank reduces), so the first
+			// *sequential* use of a width already covers the concurrent
+			// peak and steady state stops allocating.
+			*p = make([]float64, n)
+			spare := make([]float64, n)
+			bufPool.Put(&spare)
+		} else {
 			*p = (*p)[:n]
 			clear(*p)
-			return p
 		}
+		return p
 	}
 	b := make([]float64, n)
+	spare := make([]float64, n)
+	bufPool.Put(&spare)
 	return &b
 }
 

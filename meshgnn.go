@@ -75,6 +75,14 @@ type (
 	// (in-process channels or sockets); collectives are built on top of
 	// it with transport-independent, bitwise-deterministic reductions.
 	Transport = comm.Transport
+	// Request is the pooled handle of a nonblocking transport operation
+	// (Isend/Irecv), with MPI-style Wait/Test completion — the primitive
+	// the overlapped halo pipeline is built on.
+	Request = comm.Request
+	// StepTiming is the per-phase training-step breakdown (forward, halo
+	// — with its exposed-communication subset — loss, backward,
+	// allreduce, optimizer), enabled by Trainer.EnableTiming.
+	StepTiming = gnn.StepTiming
 	// TransportKind selects how ranks are realized and connected:
 	// goroutines over channels, goroutines over sockets, or OS processes
 	// over sockets.
