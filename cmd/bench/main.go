@@ -1,20 +1,24 @@
 // Command bench runs the library's hot-path benchmarks — the forward GEMM,
-// a full consistent NMP layer step, and the end-to-end training step —
-// across a thread sweep, verifies the zero-allocation steady-state
-// contract of the tensor/nn/gnn kernels, measures the overlapped halo
-// pipeline against the synchronous one on a multi-rank run (step time,
-// halo time, and the exposed — not hidden behind compute — communication
-// time), and writes a machine-readable JSON report (BENCH_PR4.json by
-// default) so the performance trajectory is tracked across PRs.
+// a full consistent NMP layer step, the end-to-end training step, and the
+// compiled forward-only inference step — across a thread sweep, verifies
+// the zero-allocation steady-state contract of the tensor/nn/gnn kernels
+// (training and serving), measures the overlapped halo pipeline against
+// the synchronous one on a multi-rank run (step time, halo time, and the
+// exposed — not hidden behind compute — communication time), measures the
+// inference serving tier (training forward vs engine step, request
+// latency profile, single- and multi-rank), and writes a machine-readable
+// JSON report (BENCH_PR5.json by default) so the performance trajectory is
+// tracked across PRs.
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # full shapes, BENCH_PR4.json
+//	go run ./cmd/bench                 # full shapes, BENCH_PR5.json
 //	go run ./cmd/bench -quick          # CI-sized shapes, 1 iteration
 //	go run ./cmd/bench -baseline <ns>  # also report speedup vs a recorded
 //	                                   # pre-PR train-step ns/op
 //
-// The process exits non-zero if any hot kernel allocates in steady state,
+// The process exits non-zero if any hot kernel allocates in steady state
+// or the inference engine drifts bitwise from the training forward,
 // making it usable as a CI regression gate.
 package main
 
@@ -31,9 +35,14 @@ import (
 	"time"
 
 	"meshgnn"
+	"meshgnn/internal/comm"
+	"meshgnn/internal/experiments"
 	"meshgnn/internal/gnn"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
 	"meshgnn/internal/nn"
 	"meshgnn/internal/parallel"
+	"meshgnn/internal/partition"
 	"meshgnn/internal/tensor"
 )
 
@@ -68,7 +77,7 @@ type OverlapPoint struct {
 	OverlapExposedSec float64 `json:"overlap_exposed_sec_per_iter"`
 }
 
-// Report is the schema of BENCH_PR4.json.
+// Report is the schema of BENCH_PR5.json.
 type Report struct {
 	GeneratedBy string `json:"generated_by"`
 	Quick       bool   `json:"quick"`
@@ -84,6 +93,12 @@ type Report struct {
 	// overlap-on/off step-time speedup).
 	Overlap []OverlapPoint `json:"overlap"`
 
+	// Inference holds the serving tier: the compiled forward-only engine
+	// against the training Model.Forward on the same mesh (bitwise-equal
+	// predictions, so the speedup is pure implementation), plus request
+	// throughput and the latency profile.
+	Inference []experiments.ServingPoint `json:"inference"`
+
 	// SteadyStateAllocs maps each hot kernel to its AllocsPerRun count
 	// after warm-up (threads=1). The zero-allocation contract requires
 	// every entry to be 0.
@@ -98,7 +113,7 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized shapes and a single timed iteration per benchmark")
-	out := flag.String("o", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR5.json", "output JSON path")
 	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
 	baseline := flag.Float64("baseline", 0, "pre-optimization train-step ns/op to compute the speedup against")
 	flag.Parse()
@@ -134,6 +149,9 @@ func main() {
 	meshgnn.SetParallelism(0, true)
 
 	measureOverlap(rep, *quick)
+	meshgnn.SetParallelism(0, true)
+
+	measureInference(rep, *quick)
 	meshgnn.SetParallelism(0, true)
 
 	checkSteadyStateAllocs(rep, *quick)
@@ -298,6 +316,88 @@ func runSweep(rep *Report, quick bool, threads int) {
 			}
 		})
 	})
+
+	// Forward-only serving step for the large model on the same mesh —
+	// the compiled engine (no backward buffers, cached static-edge
+	// encoding), bitwise-equal to Model.Forward.
+	record(rep, "infer_step", threads, func(b *testing.B) {
+		withSingleRank(b, ex, ey, ez, p, func(b *testing.B, r *meshgnn.Rank) {
+			model, err := meshgnn.NewModel(meshgnn.LargeConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := meshgnn.NewInference(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := r.Sample(meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}, 0)
+			eng.Predict(r.Ctx, x) // warm-up: bind the engine
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Predict(r.Ctx, x)
+			}
+		})
+	})
+}
+
+// measureInference records the serving tier: the compiled engine against
+// the training forward at R=1 and R=2 (sync and overlapped), via the same
+// collective measurement body cmd/serve reports. Parity is asserted —
+// any bitwise drift between the fused serving path and the training
+// kernels fails the process.
+func measureInference(rep *Report, quick bool) {
+	meshgnn.SetParallelism(1, true)
+	elems, p, requests, rollout := 5, 3, 20, 10
+	if quick {
+		elems, p, requests, rollout = 3, 2, 5, 3
+	}
+	fmt.Println("bench: inference serving tier (training forward vs compiled engine):")
+	type point struct {
+		ranks   int
+		overlap bool
+	}
+	for _, pc := range []point{{1, false}, {2, false}, {2, true}} {
+		box, err := mesh.NewBox(pc.ranks*elems, elems, elems, p, [3]bool{true, true, true})
+		if err != nil {
+			fatal(err)
+		}
+		part, err := partition.NewCartesian(box, pc.ranks, partition.Slabs)
+		if err != nil {
+			fatal(err)
+		}
+		locals, err := graph.BuildAll(box, part)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := meshgnn.LargeConfig()
+		cfg.Overlap = pc.overlap
+		var pt experiments.ServingPoint
+		err = comm.Run(pc.ranks, func(c *comm.Comm) error {
+			got, err := experiments.MeasureInferenceRank(c, box, locals[c.Rank()],
+				comm.SendRecvMode, cfg, requests, rollout)
+			if err != nil || c.Rank() != 0 {
+				return err
+			}
+			pt = got
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Inference = append(rep.Inference, pt)
+		pipeline := "sync"
+		if pc.overlap {
+			pipeline = "overlap"
+		}
+		fmt.Printf("  R=%d %-7s  train-fwd %12.0f ns  infer %12.0f ns  speedup %.3fx  p99 %.3f ms  parity-diff %d\n",
+			pt.Ranks, pipeline, pt.TrainForwardNs, pt.InferNs, pt.Speedup, pt.LatencyP99Ns/1e6, pt.ParityDiffBits)
+		if pt.ParityDiffBits != 0 {
+			fmt.Fprintf(os.Stderr, "bench: FAIL inference engine diverged bitwise from Model.Forward (%d values)\n",
+				pt.ParityDiffBits)
+			os.Exit(1)
+		}
+	}
 }
 
 // measureOverlap times the end-to-end training step on a multi-rank run
@@ -475,6 +575,16 @@ func checkSteadyStateAllocs(rep *Report, quick bool) {
 		rep.SteadyStateAllocs["train_step"] = testing.AllocsPerRun(5, func() {
 			trainer.Step(r.Ctx, xs, xs)
 		})
+
+		eng, err := meshgnn.NewInference(model)
+		if err != nil {
+			return err
+		}
+		eng.Predict(r.Ctx, xs)
+		eng.Predict(r.Ctx, xs)
+		rep.SteadyStateAllocs["infer_step"] = testing.AllocsPerRun(5, func() {
+			eng.Predict(r.Ctx, xs)
+		})
 		return nil
 	})
 	if err != nil {
@@ -482,7 +592,7 @@ func checkSteadyStateAllocs(rep *Report, quick bool) {
 	}
 
 	fmt.Println("bench: steady-state allocs/op:")
-	for _, k := range []string{"mat_mul", "mlp_step", "nmp_step", "train_step"} {
+	for _, k := range []string{"mat_mul", "mlp_step", "nmp_step", "train_step", "infer_step"} {
 		fmt.Printf("  %-12s %v\n", k, rep.SteadyStateAllocs[k])
 	}
 }

@@ -4,8 +4,13 @@
 // the GNN's mesh, partition, and halo-exchange machinery) advances a heat
 // field while the consistent GNN trains online on the freshly produced
 // (u(t), u(t+Δt)) pairs — solver and model coexist rank-for-rank with no
-// snapshot files in between. The trained surrogate is then checkpointed
-// and reloaded to verify the serialized model reproduces the solver.
+// snapshot files in between. Once training ends, the forward-only
+// inference engine takes over: the held-out surrogate-vs-solver
+// evaluation runs through meshgnn.NewInference (bitwise the model's
+// predictions, minus every gradient buffer), and the checkpoint is
+// reloaded with meshgnn.LoadInference to verify the serialized surrogate
+// serves a finer mesh — the in-situ deployment mode where the solver
+// loop queries the engine and no training machinery exists at all.
 package main
 
 import (
@@ -84,11 +89,18 @@ func main() {
 			}
 		}
 
-		// Evaluate the surrogate against the solver on a held-out step.
+		// Training is over: compile the forward-only engine and evaluate
+		// the surrogate against the solver on a held-out step through it
+		// (bitwise what model.Forward would predict, without touching the
+		// gradient machinery again).
+		engine, err := meshgnn.NewInference(model)
+		if err != nil {
+			return out{}, err
+		}
 		x := toFeatures(u)
 		solver.Step(u)
 		want := toFeatures(u)
-		got := model.Forward(r.Ctx, x)
+		got := engine.Predict(r.Ctx, x)
 		num := r.Loss(got, want)
 		den := r.Loss(want, zeroLike(want))
 		o.surrVsSolv = math.Sqrt(num / math.Max(den, 1e-300))
@@ -115,9 +127,11 @@ func main() {
 	fmt.Printf("\nheld-out surrogate-vs-solver relative L2: %.3f\n", r0.surrVsSolv)
 	fmt.Printf("checkpoint size: %d bytes\n", len(r0.checkpoint))
 
-	// Reload the checkpoint and confirm it evaluates on a finer mesh —
-	// the cross-mesh transfer the paper motivates.
-	model, err := meshgnn.LoadModel(bytes.NewReader(r0.checkpoint))
+	// Reload the checkpoint as a pure serving engine — no trainer, no
+	// optimizer, no gradient buffers — and confirm it evaluates on a
+	// finer mesh: the cross-mesh transfer the paper motivates, in the
+	// form the in-situ solver loop would actually embed.
+	engine, err := meshgnn.LoadInference(bytes.NewReader(r0.checkpoint))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,8 +146,8 @@ func main() {
 	err = fineSys.Run(meshgnn.NoExchange, func(r *meshgnn.Rank) error {
 		pulse := meshgnn.GaussianPulse{Amplitude: 1, Sigma0: 0.15, Alpha: 0.05,
 			Cx: 0.5, Cy: 0.5, Cz: 0.5}
-		y := model.Forward(r.Ctx, r.Sample(pulse, 0))
-		fmt.Printf("\nreloaded checkpoint evaluated on a finer mesh (%d nodes): output %dx%d, finite=%v\n",
+		y := engine.Predict(r.Ctx, r.Sample(pulse, 0))
+		fmt.Printf("\nreloaded checkpoint served on a finer mesh (%d nodes): output %dx%d, finite=%v\n",
 			fine.NumNodes(), y.Rows, y.Cols, allFinite(y))
 		return nil
 	})

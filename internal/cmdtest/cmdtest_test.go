@@ -21,7 +21,7 @@ var (
 )
 
 // binaries compiled for the smoke tests.
-var commands = []string{"train", "scaling", "consistency", "meshinfo"}
+var commands = []string{"train", "scaling", "consistency", "meshinfo", "serve"}
 
 // build compiles the cmd binaries once per test process.
 func build(t *testing.T) string {
@@ -210,6 +210,65 @@ func TestConsistencyFig6Smoke(t *testing.T) {
 	out := runCmd(t, "consistency", "-elems", "2", "-p", "1", "-rmax", "2")
 	if !strings.Contains(out, "Fig. 6 (left)") {
 		t.Fatalf("unexpected consistency output:\n%s", out)
+	}
+}
+
+// TestServeSmoke runs the inference serving driver on a tiny mesh: the
+// engine must report bitwise parity with the training forward, the
+// per-step comparison, the latency profile, and the facade request API.
+func TestServeSmoke(t *testing.T) {
+	out := runCmd(t, "serve", "-elems", "2", "-p", "1", "-ranks", "2",
+		"-requests", "5", "-rollout", "2")
+	for _, want := range []string{
+		"bitwise-equal to Model.Forward (0 differing bit patterns)",
+		"training forward step",
+		"inference step",
+		"speedup",
+		"throughput",
+		"p99",
+		"rollout",
+		"request API (System.Serve)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeProcsLauncher exercises serve's -procs re-exec path: 2
+// OS-process ranks over the socket fabric must still serve predictions
+// bitwise-equal to the training forward.
+func TestServeProcsLauncher(t *testing.T) {
+	out := runCmd(t, "serve", "-procs", "2", "-elems", "2", "-p", "1",
+		"-requests", "3", "-rollout", "2")
+	for _, want := range []string{
+		"bitwise-equal to Model.Forward (0 differing bit patterns)",
+		"inference step",
+		"throughput",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve -procs output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeWritesPoint checks the -o JSON serving-point artifact.
+func TestServeWritesPoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "point.json")
+	out := runCmd(t, "serve", "-elems", "2", "-p", "1", "-ranks", "1",
+		"-requests", "3", "-rollout", "0", "-o", path)
+	if !strings.Contains(out, "serving point written") {
+		t.Fatalf("no JSON confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"infer_ns_per_step", "train_forward_ns_per_step", "parity_diff_bits"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("serving point missing %q:\n%s", want, data)
+		}
 	}
 }
 

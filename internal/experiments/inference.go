@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"meshgnn/internal/comm"
+	"meshgnn/internal/field"
+	"meshgnn/internal/gnn"
+	"meshgnn/internal/graph"
+	"meshgnn/internal/mesh"
+)
+
+// ServingPoint is one measured serving point: the training forward vs
+// compiled-engine step comparison plus the request-level latency profile,
+// as reported by cmd/serve and cmd/bench's inference tier.
+type ServingPoint struct {
+	Model    string `json:"model"`
+	Ranks    int    `json:"ranks"`
+	ModeName string `json:"mode"`
+	Overlap  bool   `json:"overlap"`
+	Requests int    `json:"requests"`
+
+	// TrainForwardNs is the per-call wall time of the training
+	// Model.Forward (gradient caches, backward-ready arena epoch);
+	// InferNs is the compiled engine's Predict on the same snapshot —
+	// bitwise the same prediction, so Speedup = TrainForwardNs/InferNs
+	// is a pure implementation win.
+	TrainForwardNs float64 `json:"train_forward_ns_per_step"`
+	InferNs        float64 `json:"infer_ns_per_step"`
+	Speedup        float64 `json:"speedup"`
+
+	// Request-level serving statistics over the engine (rank-0 wall
+	// clock; requests are collective, so this is the system latency).
+	ThroughputReqSec float64 `json:"throughput_req_per_sec"`
+	LatencyMeanNs    float64 `json:"latency_mean_ns"`
+	LatencyP50Ns     float64 `json:"latency_p50_ns"`
+	LatencyP99Ns     float64 `json:"latency_p99_ns"`
+
+	// RolloutSteps/RolloutNs time one multi-step autoregressive rollout
+	// through the engine (0 steps skips it).
+	RolloutSteps int     `json:"rollout_steps,omitempty"`
+	RolloutNs    float64 `json:"rollout_ns,omitempty"`
+
+	// ParityDiffBits counts prediction values whose bit patterns differ
+	// between Model.Forward and the engine across the verification
+	// passes — the acceptance criterion requires 0.
+	ParityDiffBits int `json:"parity_diff_bits"`
+}
+
+// MeasureInferenceRank is the collective rank body behind cmd/serve: it
+// builds the rank context, the seeded training model, and the compiled
+// engine, verifies bitwise parity, then times the training forward, the
+// engine step (with per-request latencies), and an optional rollout. All
+// ranks must call it together (any transport); the returned point
+// carries rank-0 wall clock and is meaningful on every rank, but only
+// the coordinator usually reports it.
+func MeasureInferenceRank(c *comm.Comm, box *mesh.Box, l *graph.Local, mode comm.ExchangeMode,
+	cfg gnn.Config, requests, rolloutSteps int) (ServingPoint, error) {
+	rc, err := gnn.NewRankContext(c, box, l, mode)
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	model, err := gnn.NewModel(cfg)
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	eng, err := gnn.NewInference(model)
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	x := field.Sample(inputField(), rc.Graph, 0.25)
+
+	pt := ServingPoint{
+		Model: cfg.Name, Ranks: c.Size(), ModeName: fmt.Sprint(mode),
+		Overlap: cfg.Overlap, Requests: requests, RolloutSteps: rolloutSteps,
+	}
+
+	// Parity: the engine must reproduce the training forward bit for bit
+	// (twice, to cover the bound/replay path and the static-edge cache).
+	for pass := 0; pass < 2; pass++ {
+		yM := model.Forward(rc, x).Clone()
+		yE := eng.Predict(rc, x)
+		for i := range yM.Data {
+			if math.Float64bits(yM.Data[i]) != math.Float64bits(yE.Data[i]) {
+				pt.ParityDiffBits++
+			}
+		}
+	}
+
+	// Training forward timing (arena already recorded by the parity
+	// passes above).
+	c.Barrier()
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		model.Forward(rc, x)
+	}
+	c.Barrier()
+	pt.TrainForwardNs = float64(time.Since(start).Nanoseconds()) / float64(requests)
+
+	// Engine serving: per-request latency profile.
+	lat := make([]float64, requests)
+	c.Barrier()
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		t0 := time.Now()
+		eng.Predict(rc, x)
+		lat[i] = float64(time.Since(t0).Nanoseconds())
+	}
+	c.Barrier()
+	elapsed := time.Since(start)
+	pt.InferNs = float64(elapsed.Nanoseconds()) / float64(requests)
+	if pt.InferNs > 0 {
+		pt.Speedup = pt.TrainForwardNs / pt.InferNs
+		pt.ThroughputReqSec = 1e9 / pt.InferNs
+	}
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	pt.LatencyMeanNs = sum / float64(requests)
+	sort.Float64s(lat)
+	pt.LatencyP50Ns = percentile(lat, 50)
+	pt.LatencyP99Ns = percentile(lat, 99)
+
+	if rolloutSteps > 0 && cfg.InputNodeFeatures == cfg.OutputNodeFeatures {
+		c.Barrier()
+		start = time.Now()
+		eng.Rollout(rc, x, rolloutSteps)
+		c.Barrier()
+		pt.RolloutNs = float64(time.Since(start).Nanoseconds())
+	}
+	return pt, nil
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank method).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	return sorted[k]
+}

@@ -1,0 +1,289 @@
+package gnn
+
+import (
+	"fmt"
+	"io"
+
+	"meshgnn/internal/graph"
+	"meshgnn/internal/nn"
+	"meshgnn/internal/parallel"
+	"meshgnn/internal/tensor"
+)
+
+// Inference is a forward-only serving engine compiled from a trained
+// Model. It evaluates the same encode→NMP→decode computation — bitwise,
+// prediction for prediction — but strips everything that exists only for
+// training:
+//
+//   - no gradient accumulators are touched and no backward workspaces are
+//     ever recorded, so the engine's arena holds the forward activations
+//     only (roughly half the training epoch's slots);
+//   - the compiled layer twins (nn.InferMLP) skip every store whose sole
+//     consumer is a backward pass: Linear input caches, LayerNorm's xhat
+//     matrix and invStd column;
+//   - with the default static edge features (EdgeFeatures4) the edge
+//     encoder's input does not depend on the node snapshot, so its output
+//     is encoded ONCE per (graph, parameters) binding and reused by every
+//     subsequent Predict — an entire MLP forward over the edge set drops
+//     out of the per-request path.
+//
+// The fused epoch keeps the persistent preprocessed inputs of the
+// training path — the bound edge-input assembly task, the exchanger's
+// halo request tables, the boundary/interior graph split — and reuses the
+// overlapped Start/Finish exchange halves, so Config.Overlap hides halo
+// transfers behind interior compute in pure-forward mode too.
+//
+// The engine shares parameter storage with its source model (compiling
+// copies nothing, and checkpoints written from the model after compiling
+// are byte-identical). If the source model trains on, call Refresh to
+// invalidate the cached static-edge encoding; predictions otherwise keep
+// serving the parameters as of the last binding.
+//
+// Like the model, an engine is single-goroutine (per rank) and Predict is
+// collective across ranks.
+type Inference struct {
+	Config Config
+
+	nodeEnc, edgeEnc, dec *nn.InferMLP
+	procs                 []inferProcessor
+
+	arena *tensor.Arena
+	// outs double-buffers the persistent prediction exactly like
+	// Model.Forward: the returned matrix stays valid through one
+	// subsequent Predict call.
+	outs     [2]*tensor.Matrix
+	outIdx   int
+	staticHe *tensor.Matrix // cached edge encoding (EdgeFeatures4 only)
+
+	lastGraph *graph.Local
+	lastRows  int
+	lastCols  int
+}
+
+// inferProcessor is the forward-only counterpart of ProcessorLayer.
+type inferProcessor interface {
+	InferForward(rc *RankContext, a *tensor.Arena, x, e *tensor.Matrix) (xOut, eOut *tensor.Matrix)
+	setOverlap(on bool)
+}
+
+// NewInference compiles a forward-only engine from the model. The engine
+// aliases the model's parameters — it copies nothing and never writes
+// them.
+func NewInference(m *Model) (*Inference, error) {
+	if err := m.Config.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Inference{
+		Config:  m.Config,
+		nodeEnc: m.NodeEncoder.Compile(),
+		edgeEnc: m.EdgeEncoder.Compile(),
+		dec:     m.Decoder.Compile(),
+		arena:   tensor.NewArena(),
+	}
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *NMPLayer:
+			e.procs = append(e.procs, newInferNMP(t, m.Config.Overlap))
+		case *AttentionLayer:
+			// The attention processor has no forward-only twin yet; the
+			// engine falls back to the training layer's Forward (own
+			// allocations, synchronous exchanges — see ROADMAP).
+			e.procs = append(e.procs, &attentionFallback{l: t})
+		default:
+			return nil, fmt.Errorf("gnn: cannot compile processor %T for inference", l)
+		}
+	}
+	return e, nil
+}
+
+// LoadInference reads a model checkpoint (SaveModel format) and compiles
+// an engine from it. The restored model is retained only through the
+// shared parameter storage.
+func LoadInference(r io.Reader) (*Inference, error) {
+	m, err := LoadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewInference(m)
+}
+
+// SetOverlap toggles the phased halo pipeline for subsequent predictions
+// (bitwise-invisible, like Model.SetOverlap).
+func (e *Inference) SetOverlap(on bool) {
+	e.Config.Overlap = on
+	for _, p := range e.procs {
+		p.setOverlap(on)
+	}
+}
+
+// Refresh invalidates the cached per-graph preprocessing (the static-edge
+// encoding). Call it after the source model's parameters change — e.g.
+// between in-situ training bursts — so the next Predict re-binds.
+func (e *Inference) Refresh() {
+	e.lastGraph = nil
+	e.staticHe = nil
+}
+
+// WorkspaceFootprint reports the engine's arena storage in float64s — the
+// steady-state per-request workspace (compare Model.WorkspaceFootprint,
+// which also carries the backward epoch).
+func (e *Inference) WorkspaceFootprint() int { return e.arena.Footprint() }
+
+// Predict evaluates the engine on this rank's sub-graph: x is the
+// NumLocal×InputNodeFeatures node snapshot, the result the
+// NumLocal×OutputNodeFeatures prediction, bitwise-equal to
+// Model.Forward on the source model. The returned matrix is engine-owned
+// and stays valid through ONE subsequent Predict (the same pushforward
+// contract as Model.Forward). All ranks must call Predict collectively.
+func (e *Inference) Predict(rc *RankContext, x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows != rc.Graph.NumLocal() || x.Cols != e.Config.InputNodeFeatures {
+		panic(fmt.Sprintf("gnn: inference input %dx%d, want %dx%d",
+			x.Rows, x.Cols, rc.Graph.NumLocal(), e.Config.InputNodeFeatures))
+	}
+	if rc.Graph != e.lastGraph || x.Rows != e.lastRows || x.Cols != e.lastCols {
+		e.bind(rc, x)
+	}
+	e.arena.Reset()
+	hx := e.nodeEnc.InferForward(e.arena, x)
+	he := e.staticHe
+	if he == nil {
+		he = e.edgeEnc.InferForward(e.arena, rc.EdgeInputsInto(e.Config.EdgeMode, x, e.arena))
+	}
+	for _, p := range e.procs {
+		hx, he = p.InferForward(rc, e.arena, hx, he)
+	}
+	y := e.dec.InferForward(e.arena, hx)
+	e.outIdx = 1 - e.outIdx
+	out := e.outs[e.outIdx]
+	if out == nil || out.Rows != y.Rows || out.Cols != y.Cols {
+		out = tensor.New(y.Rows, y.Cols)
+		e.outs[e.outIdx] = out
+	}
+	tensor.CloneInto(out, y)
+	return out
+}
+
+// bind re-records the engine against a new (graph, shape) pair: the arena
+// is cleared and, for static edge features, the edge encoder runs once
+// into persistent storage (outside the arena, so the per-request replay
+// sequence never contains it). The encoding is bitwise what a per-request
+// evaluation would produce — the kernels are deterministic — so caching
+// is invisible to the results.
+func (e *Inference) bind(rc *RankContext, x *tensor.Matrix) {
+	e.arena.Clear()
+	e.lastGraph, e.lastRows, e.lastCols = rc.Graph, x.Rows, x.Cols
+	e.staticHe = nil
+	if e.Config.EdgeMode == EdgeFeatures4 {
+		e.staticHe = e.edgeEnc.InferForward(nil, rc.StaticEdge)
+	}
+}
+
+// Rollout applies the engine autoregressively, state_{n+1} = G(state_n),
+// returning the trajectory including the initial state (steps+1
+// matrices, each an independent copy) — bitwise-equal to gnn.Rollout on
+// the source model. All ranks must call collectively.
+func (e *Inference) Rollout(rc *RankContext, x0 *tensor.Matrix, steps int) []*tensor.Matrix {
+	if e.Config.InputNodeFeatures != e.Config.OutputNodeFeatures {
+		panic(fmt.Sprintf("gnn: rollout needs matching widths, have %d -> %d",
+			e.Config.InputNodeFeatures, e.Config.OutputNodeFeatures))
+	}
+	out := make([]*tensor.Matrix, 0, steps+1)
+	state := x0.Clone()
+	out = append(out, state)
+	for s := 0; s < steps; s++ {
+		state = e.Predict(rc, state).Clone()
+		out = append(out, state)
+	}
+	return out
+}
+
+// inferNMP is the forward half of the consistent NMP layer (Eq. 4),
+// compiled for serving: the same bound tasks, the same per-row
+// aggregation and absorb orders, the same synchronous/phased scheduling —
+// only the backward caches (edgeIn, nodeIn, haloRows, rc) are gone and
+// the MLPs are forward-only twins.
+type inferNMP struct {
+	edgeMLP, nodeMLP *nn.InferMLP
+	disableDeg       bool
+	overlap          bool
+
+	edgeInT nmpEdgeInTask
+	aggT    nmpAggTask
+	absorbT nmpAbsorbTask
+	hcatT   nmpHCatTask
+}
+
+func newInferNMP(l *NMPLayer, overlap bool) *inferNMP {
+	return &inferNMP{
+		edgeMLP:    l.EdgeMLP.Compile(),
+		nodeMLP:    l.NodeMLP.Compile(),
+		disableDeg: l.DisableDegreeScaling,
+		overlap:    overlap || l.Overlap,
+	}
+}
+
+func (l *inferNMP) setOverlap(on bool) { l.overlap = on }
+
+func (l *inferNMP) InferForward(rc *RankContext, a *tensor.Arena, x, e *tensor.Matrix) (xOut, eOut *tensor.Matrix) {
+	g := rc.Graph
+	h := x.Cols
+
+	// (4a) edge update with residual.
+	edgeIn := a.Get(g.NumEdges(), 3*h)
+	l.edgeInT = nmpEdgeInTask{g: g, x: x, e: e, out: edgeIn, h: h}
+	parallel.ForTask(g.NumEdges(), edgeGrain(h), &l.edgeInT)
+	eOut = l.edgeMLP.InferForward(a, edgeIn)
+	tensor.AddScaled(eOut, 1, e)
+
+	// (4b)–(4d): aggregation, halo swap, synchronization — the exact
+	// schedule of NMPLayer.Forward, including the phased split.
+	agg := a.GetZeroed(g.NumLocal(), h)
+	halo := a.GetZeroed(g.NumHalo(), h)
+	nodeIn := a.Get(g.NumLocal(), 2*h)
+
+	if l.overlap {
+		l.aggT = nmpAggTask{g: g, eOut: eOut, agg: agg,
+			disableDeg: l.disableDeg, nodes: g.NodeOrder[:g.NumBoundary]}
+		parallel.ForTask(g.NumBoundary, edgeGrain(h), &l.aggT)
+		rc.Ex.StartForward(rc.Comm, agg, halo)
+
+		l.aggT.nodes = g.NodeOrder[g.NumBoundary:]
+		parallel.ForTask(g.NumLocal()-g.NumBoundary, edgeGrain(h), &l.aggT)
+		l.hcatT = nmpHCatTask{agg: agg, x: x, out: nodeIn, h: h,
+			nodes: g.NodeOrder[g.NumBoundary:]}
+		parallel.ForTask(g.NumLocal()-g.NumBoundary, edgeGrain(h), &l.hcatT)
+
+		rc.Ex.FinishForward(rc.Comm)
+		l.absorbT = nmpAbsorbTask{g: g, agg: agg, halo: halo, nodes: g.NodeOrder[:g.NumBoundary]}
+		parallel.ForTask(g.NumBoundary, edgeGrain(h), &l.absorbT)
+		l.hcatT.nodes = g.NodeOrder[:g.NumBoundary]
+		parallel.ForTask(g.NumBoundary, edgeGrain(h), &l.hcatT)
+	} else {
+		l.aggT = nmpAggTask{g: g, eOut: eOut, agg: agg, disableDeg: l.disableDeg}
+		parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.aggT)
+		rc.Ex.Forward(rc.Comm, agg, halo)
+		l.absorbT = nmpAbsorbTask{g: g, agg: agg, halo: halo}
+		parallel.ForTask(g.NumLocal(), edgeGrain(h), &l.absorbT)
+		tensor.HCatInto(nodeIn, agg, x)
+	}
+
+	// (4e) node update with residual.
+	xOut = l.nodeMLP.InferForward(a, nodeIn)
+	tensor.AddScaled(xOut, 1, x)
+	return xOut, eOut
+}
+
+// attentionFallback serves an attention processor through the training
+// layer's own Forward. It allocates per call (the attention layer keeps
+// its own buffers) and writes the layer's backward caches — harmless for
+// prediction, but an engine must not run between a model's Forward and
+// Backward when they share attention layers.
+type attentionFallback struct {
+	l *AttentionLayer
+}
+
+func (f *attentionFallback) InferForward(rc *RankContext, _ *tensor.Arena, x, e *tensor.Matrix) (*tensor.Matrix, *tensor.Matrix) {
+	return f.l.Forward(rc, x, e)
+}
+
+func (f *attentionFallback) setOverlap(bool) {}

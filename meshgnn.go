@@ -128,6 +128,12 @@ type (
 	FitOptions = gnn.FitOptions
 	// Metrics holds consistent evaluation statistics (MSE, MAE, ...).
 	Metrics = gnn.Metrics
+	// Inference is the forward-only serving engine compiled from a
+	// trained Model: no gradient or backward buffers, a fused
+	// encode→NMP→decode arena epoch with persistent preprocessed inputs,
+	// and overlapped halo exchange in pure-forward mode. Predictions are
+	// bitwise-equal to Model.Forward.
+	Inference = gnn.Inference
 )
 
 // Halo exchange modes (paper Sec. III).
@@ -229,6 +235,12 @@ var (
 	// launcher (MESHGNN_RANK set); commands use it to mute duplicate
 	// output in worker ranks.
 	IsWorker = comm.IsWorker
+	// NewInference compiles a forward-only serving engine from a model
+	// (parameters are aliased, not copied).
+	NewInference = gnn.NewInference
+	// LoadInference reads a SaveModel checkpoint and compiles a serving
+	// engine from it.
+	LoadInference = gnn.LoadInference
 )
 
 // SetParallelism configures the process-wide intra-rank compute engine:

@@ -1,0 +1,222 @@
+package meshgnn
+
+import (
+	"fmt"
+	"sync"
+
+	"meshgnn/internal/gnn"
+	"meshgnn/internal/tensor"
+)
+
+// Server is the in-situ serving frontend of a partitioned system: every
+// rank runs persistently with a compiled forward-only engine (see
+// Inference), and requests — node-feature snapshots — are dispatched to
+// all ranks collectively. The rank fabric, halo exchangers, graph splits,
+// and engine arenas are built once at Serve time and reused by every
+// request, so the steady-state request path performs the same
+// zero-allocation fused forward the engine gates assert.
+//
+// A Server is safe for concurrent use; requests are serialized (the
+// underlying evaluation is collective across all ranks, so two requests
+// cannot usefully interleave on one system).
+type Server struct {
+	sys     *System
+	ranks   int
+	in, out int // model input/output widths, for request validation
+
+	mu     sync.Mutex
+	reqs   []chan *serveReq
+	runErr chan error
+	err    error
+	closed bool
+}
+
+// serveReq is one collective evaluation: a per-rank snapshot in, a
+// per-rank prediction (steps == 0) or steps-application trajectory
+// (steps > 0) out.
+type serveReq struct {
+	inputs []*tensor.Matrix
+	steps  int
+	outs   []*tensor.Matrix
+	trajs  [][]*tensor.Matrix
+	wg     sync.WaitGroup
+}
+
+// Serve starts persistent serving ranks over the given transport and
+// exchange mode. The model's parameters are snapshotted before Serve
+// returns and each rank compiles a forward-only Inference engine from
+// its own copy, so the caller's model stays free for further training —
+// the server keeps serving the parameters as of the Serve call.
+// Supported transports are InProcess and Sockets (goroutine ranks —
+// request matrices cross no process boundary); Processes ranks cannot
+// receive in-memory requests, so drive the engine directly inside RunOn
+// for that case (as cmd/serve -procs does).
+//
+// Close the server to release the rank goroutines.
+func (s *System) Serve(kind TransportKind, mode ExchangeMode, model *Model) (*Server, error) {
+	if kind == Processes {
+		return nil, fmt.Errorf("meshgnn: Serve needs in-memory requests; run the engine inside RunOn for process ranks")
+	}
+	// Snapshot synchronously: the rank goroutines start after Serve
+	// returns, and the caller may immediately resume training the model.
+	snapshot := make([][]float64, len(model.Params()))
+	for i, p := range model.Params() {
+		snapshot[i] = append([]float64(nil), p.W.Data...)
+	}
+	srv := &Server{
+		sys:    s,
+		ranks:  s.Ranks,
+		in:     model.Config.InputNodeFeatures,
+		out:    model.Config.OutputNodeFeatures,
+		reqs:   make([]chan *serveReq, s.Ranks),
+		runErr: make(chan error, 1),
+	}
+	for i := range srv.reqs {
+		srv.reqs[i] = make(chan *serveReq)
+	}
+	go func() {
+		srv.runErr <- s.RunOn(kind, mode, func(r *Rank) error {
+			mdl, err := gnn.NewModel(model.Config)
+			if err != nil {
+				return err
+			}
+			for i, p := range mdl.Params() {
+				copy(p.W.Data, snapshot[i])
+			}
+			eng, err := gnn.NewInference(mdl)
+			if err != nil {
+				return err
+			}
+			id := r.ID()
+			for req := range srv.reqs[id] {
+				if req.steps > 0 {
+					req.trajs[id] = eng.Rollout(r.Ctx, req.inputs[id], req.steps)
+				} else {
+					// The engine recycles its prediction buffer after one
+					// further call; responses escape the server, so each
+					// gets its own copy.
+					req.outs[id] = eng.Predict(r.Ctx, req.inputs[id]).Clone()
+				}
+				req.wg.Done()
+			}
+			return nil
+		})
+	}()
+	return srv, nil
+}
+
+// Ranks returns the number of serving ranks; Predict and Rollout take one
+// snapshot per rank.
+func (srv *Server) Ranks() int { return srv.ranks }
+
+// Predict submits one node-feature snapshot per rank (inputs[r] is rank
+// r's NumLocal×InputNodeFeatures matrix) and returns the per-rank
+// predictions. The evaluation is collective; the call blocks until every
+// rank finished.
+func (srv *Server) Predict(inputs []*Matrix) ([]*Matrix, error) {
+	req, err := srv.submit(inputs, 0)
+	if err != nil {
+		return nil, err
+	}
+	return req.outs, nil
+}
+
+// Rollout submits one initial snapshot per rank and rolls the engine
+// forward autoregressively, returning per-rank trajectories of steps+1
+// states (including the initial one). The model's input and output widths
+// must match.
+func (srv *Server) Rollout(inputs []*Matrix, steps int) ([][]*Matrix, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("meshgnn: rollout needs steps >= 1, got %d", steps)
+	}
+	req, err := srv.submit(inputs, steps)
+	if err != nil {
+		return nil, err
+	}
+	return req.trajs, nil
+}
+
+// submit validates the snapshots, fans the request out to every rank, and
+// waits for the collective evaluation. steps > 0 requests a rollout of
+// steps autoregressive applications; 0 a single prediction.
+func (srv *Server) submit(inputs []*Matrix, steps int) (*serveReq, error) {
+	if len(inputs) != srv.ranks {
+		return nil, fmt.Errorf("meshgnn: %d snapshots for %d serving ranks", len(inputs), srv.ranks)
+	}
+	if steps > 0 && srv.in != srv.out {
+		return nil, fmt.Errorf("meshgnn: rollout needs matching widths, model maps %d -> %d", srv.in, srv.out)
+	}
+	for r, x := range inputs {
+		if x == nil {
+			return nil, fmt.Errorf("meshgnn: rank %d snapshot is nil", r)
+		}
+		if want := srv.sys.Locals[r].NumLocal(); x.Rows != want || x.Cols != srv.in {
+			return nil, fmt.Errorf("meshgnn: rank %d snapshot is %dx%d, want %dx%d",
+				r, x.Rows, x.Cols, want, srv.in)
+		}
+	}
+	req := &serveReq{
+		inputs: inputs,
+		steps:  steps,
+		outs:   make([]*tensor.Matrix, srv.ranks),
+		trajs:  make([][]*tensor.Matrix, srv.ranks),
+	}
+	req.wg.Add(srv.ranks)
+
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return nil, fmt.Errorf("meshgnn: server is closed")
+	}
+	for i := range srv.reqs {
+		select {
+		case srv.reqs[i] <- req:
+		case err := <-srv.runErr:
+			// A rank failed during setup or serving: surface its error on
+			// every subsequent call instead of blocking forever.
+			srv.closed = true
+			if err == nil {
+				err = fmt.Errorf("meshgnn: serving ranks exited")
+			}
+			srv.err = err
+			return nil, srv.err
+		}
+	}
+	req.wg.Wait()
+	return req, nil
+}
+
+// Close shuts the serving ranks down and returns their collective error
+// (nil for a clean shutdown). Close is idempotent.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return srv.err
+	}
+	srv.closed = true
+	for _, ch := range srv.reqs {
+		close(ch)
+	}
+	srv.err = <-srv.runErr
+	return srv.err
+}
+
+// Predict is the one-shot convenience: it spins up an in-process serving
+// fabric, evaluates the per-rank snapshots once, and tears the fabric
+// down. For request streams, keep a Server from Serve instead — it reuses
+// the bound engines across requests.
+func (s *System) Predict(mode ExchangeMode, model *Model, inputs []*Matrix) ([]*Matrix, error) {
+	srv, err := s.Serve(InProcess, mode, model)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := srv.Predict(inputs)
+	if cerr := srv.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}

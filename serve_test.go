@@ -1,0 +1,177 @@
+package meshgnn
+
+import (
+	"math"
+	"testing"
+)
+
+// serveSystem builds a small 2-rank system plus per-rank snapshots.
+func serveSystem(t *testing.T) (*System, *Model, []*Matrix) {
+	t.Helper()
+	m, err := NewMesh(3, 3, 3, 2, FullyPeriodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(m, 2, Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	inputs := make([]*Matrix, sys.Ranks)
+	for r := range inputs {
+		inputs[r] = SampleField(f, sys.Locals[r], 0.25)
+	}
+	return sys, model, inputs
+}
+
+// TestServePredictMatchesModelForward drives the request API end to end
+// on both goroutine transports and checks the served predictions equal a
+// direct collective Model.Forward bitwise.
+func TestServePredictMatchesModelForward(t *testing.T) {
+	sys, model, inputs := serveSystem(t)
+
+	// Reference: the training model evaluated collectively.
+	want, err := RunCollect(sys, NeighborAllToAll, func(r *Rank) (*Matrix, error) {
+		m, err := NewModel(SmallConfig())
+		if err != nil {
+			return nil, err
+		}
+		return m.Forward(r.Ctx, inputs[r.ID()]).Clone(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range []TransportKind{InProcess, Sockets} {
+		srv, err := sys.Serve(kind, NeighborAllToAll, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ { // second pass reuses the bound engines
+			got, err := srv.Predict(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range got {
+				if got[r].Rows != want[r].Rows || got[r].Cols != want[r].Cols {
+					t.Fatalf("rank %d: served %dx%d, want %dx%d",
+						r, got[r].Rows, got[r].Cols, want[r].Rows, want[r].Cols)
+				}
+				for i := range got[r].Data {
+					if math.Float64bits(got[r].Data[i]) != math.Float64bits(want[r].Data[i]) {
+						t.Fatalf("transport %v rank %d value %d: served %v != model %v",
+							kind, r, i, got[r].Data[i], want[r].Data[i])
+					}
+				}
+			}
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		// Closed servers fail cleanly instead of blocking.
+		if _, err := srv.Predict(inputs); err == nil {
+			t.Error("Predict after Close succeeded")
+		}
+		if err := srv.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+	}
+}
+
+// TestServeRollout checks multi-step rollout requests: trajectory length,
+// initial-state passthrough, and agreement with the one-shot Predict on
+// the first step.
+func TestServeRollout(t *testing.T) {
+	sys, model, inputs := serveSystem(t)
+	srv, err := sys.Serve(InProcess, NeighborAllToAll, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const steps = 3
+	trajs, err := srv.Rollout(inputs, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := srv.Predict(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, traj := range trajs {
+		if len(traj) != steps+1 {
+			t.Fatalf("rank %d: trajectory has %d states, want %d", r, len(traj), steps+1)
+		}
+		if !traj[0].Equal(inputs[r]) {
+			t.Fatalf("rank %d: trajectory does not start at the initial snapshot", r)
+		}
+		for i := range traj[1].Data {
+			if math.Float64bits(traj[1].Data[i]) != math.Float64bits(preds[r].Data[i]) {
+				t.Fatalf("rank %d: rollout step 1 differs from Predict at value %d", r, i)
+			}
+		}
+	}
+
+	if _, err := srv.Rollout(inputs, 0); err == nil {
+		t.Error("Rollout with steps=0 succeeded")
+	}
+}
+
+// TestServeRequestValidation checks malformed requests are rejected with
+// errors instead of panicking rank goroutines.
+func TestServeRequestValidation(t *testing.T) {
+	sys, model, inputs := serveSystem(t)
+	srv, err := sys.Serve(InProcess, NeighborAllToAll, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := srv.Predict(inputs[:1]); err == nil {
+		t.Error("wrong snapshot count accepted")
+	}
+	bad := make([]*Matrix, len(inputs))
+	copy(bad, inputs)
+	bad[1] = nil
+	if _, err := srv.Predict(bad); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	bad[1] = &Matrix{Rows: 1, Cols: 3, Data: make([]float64, 3)}
+	if _, err := srv.Predict(bad); err == nil {
+		t.Error("wrong-shape snapshot accepted")
+	}
+	// The server must still serve correct requests after rejections.
+	if _, err := srv.Predict(inputs); err != nil {
+		t.Fatalf("valid request after rejections: %v", err)
+	}
+
+	if _, err := sys.Serve(Processes, NeighborAllToAll, model); err == nil {
+		t.Error("Serve over Processes accepted (requests cannot cross the process boundary)")
+	}
+}
+
+// TestSystemPredictOneShot covers the one-shot convenience wrapper.
+func TestSystemPredictOneShot(t *testing.T) {
+	sys, model, inputs := serveSystem(t)
+	outs, err := sys.Predict(NeighborAllToAll, model, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != sys.Ranks {
+		t.Fatalf("got %d outputs for %d ranks", len(outs), sys.Ranks)
+	}
+	for r, y := range outs {
+		if y.Rows != inputs[r].Rows || y.Cols != 3 {
+			t.Fatalf("rank %d output is %dx%d", r, y.Rows, y.Cols)
+		}
+		for _, v := range y.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("rank %d: non-finite prediction", r)
+			}
+		}
+	}
+}
