@@ -1,0 +1,117 @@
+// Command ratchet is the benchmark regression gate: it compares two
+// bench reports (cmd/bench JSON) and fails unless the new report holds
+// the performance ratchet on the tracked kernels —
+//
+//   - mat_mul must beat the old report by at least -matmul-ratio (the
+//     packed cache-blocked GEMM tier vs the legacy kernels), and
+//   - infer_step must be strictly faster than the old report, and
+//   - infer_step_f32, when present in the new report, must beat the new
+//     report's own float64 infer_step by at least -f32-ratio (the
+//     single-precision serving twin must pay for itself).
+//
+// Per kernel the best (minimum) ns/op across the thread sweep is
+// compared, so reports swept at different thread counts remain
+// comparable. CI runs it over the committed reports:
+//
+//	go run ./cmd/ratchet -old BENCH_PR5.json -new BENCH_PR6.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Benches []struct {
+		Name    string  `json:"name"`
+		Threads int     `json:"threads"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benches"`
+}
+
+// best returns the minimum ns/op recorded for the named benchmark across
+// the report's thread sweep, or 0 when the benchmark is absent.
+func (r *report) best(name string) float64 {
+	min := 0.0
+	for _, b := range r.Benches {
+		if b.Name == name && b.NsPerOp > 0 && (min == 0 || b.NsPerOp < min) {
+			min = b.NsPerOp
+		}
+	}
+	return min
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benches) == 0 {
+		return nil, fmt.Errorf("%s: no benches recorded", path)
+	}
+	return r, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_PR5.json", "baseline bench report")
+	newPath := flag.String("new", "BENCH_PR6.json", "candidate bench report")
+	matmulRatio := flag.Float64("matmul-ratio", 1.3, "required old/new speedup on mat_mul")
+	f32Ratio := flag.Float64("f32-ratio", 1.2, "required infer_step/infer_step_f32 speedup within the new report")
+	flag.Parse()
+
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	ok := true
+	check := func(label string, got, want float64) {
+		status := "ok  "
+		if got < want {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("  %s  %-28s %8.3fx (need >= %.2fx)\n", status, label, got, want)
+	}
+
+	fmt.Printf("ratchet: %s -> %s (best ns/op across thread sweeps)\n", *oldPath, *newPath)
+	for _, name := range []string{"mat_mul", "infer_step"} {
+		oldNs, newNs := oldRep.best(name), newRep.best(name)
+		if oldNs == 0 || newNs == 0 {
+			fail("benchmark %q missing from a report (old=%v new=%v)", name, oldNs, newNs)
+		}
+		want := 1.0
+		if name == "mat_mul" {
+			want = *matmulRatio
+		}
+		fmt.Printf("  %-14s old %14.0f ns/op  new %14.0f ns/op\n", name, oldNs, newNs)
+		check(name+" old/new", oldNs/newNs, want)
+	}
+	if f32 := newRep.best("infer_step_f32"); f32 > 0 {
+		f64 := newRep.best("infer_step")
+		fmt.Printf("  %-14s f64 %14.0f ns/op  f32 %14.0f ns/op\n", "infer f32/f64", f64, f32)
+		check("infer_step f64/f32", f64/f32, *f32Ratio)
+	} else {
+		fmt.Println("  (no infer_step_f32 in the new report; f32 ratchet skipped)")
+	}
+
+	if !ok {
+		fail("performance ratchet not held")
+	}
+	fmt.Println("ratchet: held")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ratchet: "+format+"\n", args...)
+	os.Exit(1)
+}

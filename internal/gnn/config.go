@@ -30,6 +30,25 @@ const (
 	EdgeFeatures7 EdgeFeatureMode = 7
 )
 
+// Precision selects the numeric representation of the serving engine
+// compiled by NewInference. Training always runs in float64 regardless.
+type Precision int
+
+const (
+	// Float64 (the default) compiles the engine over the model's own
+	// float64 parameters: predictions are bitwise-equal to Model.Forward
+	// (the train/infer parity guarantee).
+	Float64 Precision = iota
+	// Float32 compiles the single-precision serving twin: parameters and
+	// the static-edge encoding down-convert once at compile/bind time,
+	// activations and GEMMs run in float32 (pre-packed on SIMD hardware),
+	// and only the halo exchange stages through float64 (the transport
+	// layer's element type). Predictions approximate the float64 engine
+	// to a tolerance instead of bitwise — see the f32 parity tests — and
+	// remain bitwise-reproducible across thread counts and transports.
+	Float32
+)
+
 // Config describes a GNN instance (paper Table I).
 type Config struct {
 	// Name labels the configuration in reports ("small", "large", ...).
@@ -73,6 +92,17 @@ type Config struct {
 	// it. Callers that want to configure the engine without building a
 	// model use parallel.Configure (meshgnn.SetParallelism) directly.
 	Threads int
+	// Oversubscribe lifts the runtime.NumCPU() clamp on Threads (only
+	// consulted when Threads != 0). By default a request beyond the core
+	// count is capped: the kernels are compute-bound, so extra workers
+	// only time-slice against each other — slower, identical bits. Set
+	// true to benchmark oversubscription deliberately.
+	Oversubscribe bool
+	// Precision selects the serving engine's numeric representation
+	// (NewInference only; Float64 keeps bitwise train/infer parity,
+	// Float32 compiles the tolerance-gated single-precision twin).
+	// Training paths ignore it.
+	Precision Precision
 	// NonDeterministic relaxes the engine's fixed-schedule reductions:
 	// chunking may then depend on the thread count, which is marginally
 	// faster but no longer bitwise reproducible across different Threads
@@ -130,6 +160,13 @@ func (c Config) Validate() error {
 	}
 	if c.EdgeMode != EdgeFeatures4 && c.EdgeMode != EdgeFeatures7 {
 		return fmt.Errorf("gnn: unsupported EdgeMode %d", c.EdgeMode)
+	}
+	if c.Precision != Float64 && c.Precision != Float32 {
+		return fmt.Errorf("gnn: unsupported Precision %d", c.Precision)
+	}
+	if c.Attention && c.Precision == Float32 {
+		return fmt.Errorf("gnn: Float32 serving requires non-attention processors " +
+			"(the attention engine path serves through the float64 training layer)")
 	}
 	return nil
 }

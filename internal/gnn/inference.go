@@ -47,6 +47,11 @@ type Inference struct {
 	nodeEnc, edgeEnc, dec *nn.InferMLP
 	procs                 []inferProcessor
 
+	// f32 is the single-precision serving twin, present only when
+	// Config.Precision == Float32 (see inference32.go); the float64
+	// compiled twins above are then absent and Predict dispatches to it.
+	f32 *engine32
+
 	arena *tensor.Arena
 	// outs double-buffers the persistent prediction exactly like
 	// Model.Forward: the returned matrix stays valid through one
@@ -66,20 +71,27 @@ type inferProcessor interface {
 	setOverlap(on bool)
 }
 
-// NewInference compiles a forward-only engine from the model. The engine
-// aliases the model's parameters — it copies nothing and never writes
-// them.
+// NewInference compiles a forward-only engine from the model. With the
+// default Float64 precision the engine aliases the model's parameters —
+// it copies nothing and never writes them. With Config.Precision ==
+// Float32 it instead SNAPSHOTS them in single precision (and pre-packs
+// the GEMM operands); post-compile parameter updates are not visible —
+// rebuild the engine after further training.
 func NewInference(m *Model) (*Inference, error) {
 	if err := m.Config.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Inference{
-		Config:  m.Config,
-		nodeEnc: m.NodeEncoder.Compile(),
-		edgeEnc: m.EdgeEncoder.Compile(),
-		dec:     m.Decoder.Compile(),
-		arena:   tensor.NewArena(),
+		Config: m.Config,
+		arena:  tensor.NewArena(),
 	}
+	if m.Config.Precision == Float32 {
+		e.f32 = compile32(m)
+		return e, nil
+	}
+	e.nodeEnc = m.NodeEncoder.Compile()
+	e.edgeEnc = m.EdgeEncoder.Compile()
+	e.dec = m.Decoder.Compile()
 	for _, l := range m.Layers {
 		switch t := l.(type) {
 		case *NMPLayer:
@@ -114,6 +126,11 @@ func (e *Inference) SetOverlap(on bool) {
 	for _, p := range e.procs {
 		p.setOverlap(on)
 	}
+	if e.f32 != nil {
+		for _, p := range e.f32.procs {
+			p.setOverlap(on)
+		}
+	}
 }
 
 // Refresh invalidates the cached per-graph preprocessing (the static-edge
@@ -122,12 +139,23 @@ func (e *Inference) SetOverlap(on bool) {
 func (e *Inference) Refresh() {
 	e.lastGraph = nil
 	e.staticHe = nil
+	if e.f32 != nil {
+		e.f32.staticHe32 = nil
+	}
 }
 
 // WorkspaceFootprint reports the engine's arena storage in float64s — the
 // steady-state per-request workspace (compare Model.WorkspaceFootprint,
-// which also carries the backward epoch).
-func (e *Inference) WorkspaceFootprint() int { return e.arena.Footprint() }
+// which also carries the backward epoch). For a Float32 engine the f32
+// activation arena is counted at half a float64 per element, alongside
+// the f64 staging arena.
+func (e *Inference) WorkspaceFootprint() int {
+	n := e.arena.Footprint()
+	if e.f32 != nil {
+		n += (e.f32.arena.Footprint() + 1) / 2
+	}
+	return n
+}
 
 // Predict evaluates the engine on this rank's sub-graph: x is the
 // NumLocal×InputNodeFeatures node snapshot, the result the
@@ -139,6 +167,12 @@ func (e *Inference) Predict(rc *RankContext, x *tensor.Matrix) *tensor.Matrix {
 	if x.Rows != rc.Graph.NumLocal() || x.Cols != e.Config.InputNodeFeatures {
 		panic(fmt.Sprintf("gnn: inference input %dx%d, want %dx%d",
 			x.Rows, x.Cols, rc.Graph.NumLocal(), e.Config.InputNodeFeatures))
+	}
+	if e.f32 != nil {
+		if rc.Graph != e.lastGraph || x.Rows != e.lastRows || x.Cols != e.lastCols {
+			e.bind32(rc, x)
+		}
+		return e.predict32(rc, x)
 	}
 	if rc.Graph != e.lastGraph || x.Rows != e.lastRows || x.Cols != e.lastCols {
 		e.bind(rc, x)

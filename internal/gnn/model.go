@@ -71,8 +71,10 @@ func NewModel(cfg Config) (*Model, error) {
 	if cfg.Threads != 0 {
 		// The intra-rank engine is process-wide (the worker pool is
 		// shared by all goroutine ranks), so the knob configures it
-		// globally rather than per model.
-		parallel.Configure(cfg.Threads, !cfg.NonDeterministic)
+		// globally rather than per model. The request is clamped to the
+		// core count unless the config opts into oversubscription.
+		parallel.SetOversubscribe(cfg.Oversubscribe)
+		parallel.Configure(parallel.Clamp(cfg.Threads), !cfg.NonDeterministic)
 	}
 	rng := cfg.newRNG()
 	h := cfg.HiddenDim

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"runtime"
 	"testing"
 
 	"meshgnn/internal/comm"
@@ -125,16 +126,31 @@ func TestAttentionBitwiseDeterministicAcrossThreads(t *testing.T) {
 }
 
 // TestConfigThreadsKnob verifies the Config wiring: NewModel applies a
-// positive Threads value to the engine and rejects a negative one.
+// positive Threads value to the engine — clamped to the core count unless
+// Oversubscribe is set — and rejects a negative one.
 func TestConfigThreadsKnob(t *testing.T) {
-	defer parallel.Configure(0, true)
+	defer func() {
+		parallel.SetOversubscribe(false)
+		parallel.Configure(0, true)
+	}()
 	cfg := tinyConfig()
 	cfg.Threads = 3
 	if _, err := NewModel(cfg); err != nil {
 		t.Fatal(err)
 	}
+	want := 3
+	if ncpu := runtime.NumCPU(); want > ncpu {
+		want = ncpu
+	}
+	if got := parallel.Threads(); got != want {
+		t.Fatalf("NewModel left Threads() = %d, want %d (clamped from 3)", got, want)
+	}
+	cfg.Oversubscribe = true
+	if _, err := NewModel(cfg); err != nil {
+		t.Fatal(err)
+	}
 	if got := parallel.Threads(); got != 3 {
-		t.Fatalf("NewModel left Threads() = %d, want 3", got)
+		t.Fatalf("oversubscribed NewModel left Threads() = %d, want 3", got)
 	}
 	if !parallel.Deterministic() {
 		t.Fatal("NewModel should keep deterministic mode on by default")

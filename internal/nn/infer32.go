@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"meshgnn/internal/parallel"
+	"meshgnn/internal/tensor"
+)
+
+// Float32 serving twins. Where Compile builds a forward-only evaluator
+// that aliases the trained float64 parameters (bitwise train/infer
+// parity), Compile32 SNAPSHOTS them: every weight, bias, gain and shift
+// is down-converted to float32 once at compile time, and weight matrices
+// above the packed-tier threshold are pre-packed (tensor.PackB32) so the
+// serving GEMMs skip the per-call pack pass entirely. The twin is a
+// tolerance-gated approximation of the float64 oracle, not a bitwise
+// peer — callers that need exact parity stay on InferMLP. Parameter
+// updates after Compile32 are NOT visible through the twin; recompile
+// after further training.
+
+// InferLayer32 is the float32 counterpart of InferLayer.
+type InferLayer32 interface {
+	InferForward32(a *tensor.Arena32, x *tensor.Matrix32) *tensor.Matrix32
+}
+
+// InferMLP32 is a forward-only float32 MLP compiled from a trained MLP.
+type InferMLP32 struct {
+	In, Out int
+	layers  []InferLayer32
+}
+
+// Compile32 builds the float32 serving twin of the block, down-converting
+// (and, where profitable, pre-packing) its parameters once.
+func (m *MLP) Compile32() *InferMLP32 {
+	out := &InferMLP32{In: m.In, Out: m.Out}
+	for _, l := range m.layers {
+		switch t := l.(type) {
+		case *Linear:
+			li := &linear32{in: t.In, out: t.Out, w: tensor.Demote32(t.Weight.W)}
+			li.b = tensor.Demote32(t.Bias.W).Data
+			if tensor.ShouldPack32(t.In, t.Out) {
+				li.pb = tensor.PackB32(li.w)
+			}
+			out.layers = append(out.layers, li)
+		case *ELU:
+			out.layers = append(out.layers, &elu32{})
+		case *LayerNorm:
+			out.layers = append(out.layers, &ln32{
+				dim:   t.Dim,
+				gain:  tensor.Demote32(t.Gain.W).Data,
+				shift: tensor.Demote32(t.Shift.W).Data,
+			})
+		default:
+			panic(fmt.Sprintf("nn: cannot compile layer %T for f32 inference", l))
+		}
+	}
+	return out
+}
+
+// InferForward32 evaluates the block in float32, drawing every activation
+// from a (nil allocates).
+func (m *InferMLP32) InferForward32(a *tensor.Arena32, x *tensor.Matrix32) *tensor.Matrix32 {
+	for _, l := range m.layers {
+		x = l.InferForward32(a, x)
+	}
+	return x
+}
+
+// linear32 is y = x·W + b over snapshotted float32 parameters. When the
+// weight shape clears the packed-tier threshold on SIMD hardware, pb
+// holds the compile-time-packed operand and the GEMM skips packing.
+type linear32 struct {
+	in, out int
+	w       *tensor.Matrix32
+	b       []float32
+	pb      *tensor.PackedB32
+}
+
+func (l *linear32) InferForward32(a *tensor.Arena32, x *tensor.Matrix32) *tensor.Matrix32 {
+	if x.Cols != l.in {
+		panic(fmt.Sprintf("nn: f32 inference Linear input width %d, want %d", x.Cols, l.in))
+	}
+	y := a.Get(x.Rows, l.out)
+	if l.pb != nil {
+		tensor.MatMul32Packed(y, x, l.pb)
+	} else {
+		tensor.MatMul32(y, x, l.w)
+	}
+	tensor.AddRowVector32(y, l.b)
+	return y
+}
+
+// elu32Task mirrors eluForwardTask: y = v for v > 0, exp(v)-1 otherwise.
+// The map lives in the tensor kernel tier (tensor.EluRange32): the
+// float64 math.Exp round-trip dominated the whole f32 inference step
+// (~60% of the profile), so the exponential runs as a single-precision
+// polynomial, vectorized with AVX2 where available. Every path rounds
+// each element identically, so parallel chunk boundaries stay invisible.
+type elu32Task struct {
+	x, y *tensor.Matrix32
+}
+
+func (t *elu32Task) Run(lo, hi int) {
+	tensor.EluRange32(t.y.Data, t.x.Data, lo, hi)
+}
+
+type elu32 struct {
+	fwd elu32Task
+}
+
+func (e *elu32) InferForward32(a *tensor.Arena32, x *tensor.Matrix32) *tensor.Matrix32 {
+	y := a.Get(x.Rows, x.Cols)
+	e.fwd.x, e.fwd.y = x, y
+	parallel.ForTask(len(x.Data), 4096, &e.fwd)
+	return y
+}
+
+// ln32Task normalizes rows like lnInferTask with the moment sums
+// accumulated in float64: the mean/variance reductions are where f32
+// accumulation would visibly drift at the row widths this system uses,
+// and the two extra conversions per value are free next to the divide.
+type ln32Task struct {
+	ln   *ln32
+	x, y *tensor.Matrix32
+}
+
+func (t *ln32Task) Run(lo, hi int) {
+	ln := t.ln
+	n := float64(ln.dim)
+	gain, shift := ln.gain, ln.shift
+	for i := lo; i < hi; i++ {
+		row := t.x.Row(i)
+		var mu float64
+		for _, v := range row {
+			mu += float64(v)
+		}
+		mu /= n
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mu
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/n+Epsilon)
+		out := t.y.Row(i)
+		for j, v := range row {
+			xh := (float64(v) - mu) * inv
+			out[j] = float32(xh)*gain[j] + shift[j]
+		}
+	}
+}
+
+// ln32 is the forward-only float32 LayerNorm over snapshotted gain/shift.
+type ln32 struct {
+	dim         int
+	gain, shift []float32
+	fwd         ln32Task
+}
+
+func (ln *ln32) InferForward32(a *tensor.Arena32, x *tensor.Matrix32) *tensor.Matrix32 {
+	if x.Cols != ln.dim {
+		panic(fmt.Sprintf("nn: f32 inference LayerNorm width %d, want %d", x.Cols, ln.dim))
+	}
+	y := a.Get(x.Rows, x.Cols)
+	ln.fwd.ln, ln.fwd.x, ln.fwd.y = ln, x, y
+	parallel.ForTask(x.Rows, 256, &ln.fwd)
+	return y
+}

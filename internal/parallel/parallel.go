@@ -174,6 +174,12 @@ func loadThreads() int {
 // pool workers) per parallel region. n <= 0 resets to runtime.GOMAXPROCS.
 // With n == 1 every primitive runs inline on the caller — the same chunk
 // schedule, executed sequentially.
+//
+// SetThreads applies the requested count verbatim. User-facing entry
+// points (meshgnn.SetParallelism, gnn.Config.Threads) first pass their
+// request through Clamp, which caps it at runtime.NumCPU() unless
+// oversubscription was opted into — the engine-level setter stays exact
+// so determinism tests can sweep thread counts past the core count.
 func SetThreads(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -184,6 +190,34 @@ func SetThreads(n int) {
 
 // Threads returns the current participant bound.
 func Threads() int { return loadThreads() }
+
+// oversubscribe lifts the NumCPU clamp in Clamp.
+var oversubscribe atomic.Bool
+
+// SetOversubscribe allows user-facing thread requests beyond
+// runtime.NumCPU() (default false). The kernels are compute-bound, so
+// workers beyond the core count only time-slice against each other — on a
+// 1-CPU box, requesting 8 threads more than doubles the training step
+// time while producing identical bits (determinism is schedule-fixed, not
+// thread-fixed). Callers benchmarking oversubscription itself opt in.
+func SetOversubscribe(on bool) { oversubscribe.Store(on) }
+
+// Oversubscribe reports whether the NumCPU clamp is lifted.
+func Oversubscribe() bool { return oversubscribe.Load() }
+
+// Clamp returns the effective thread count for a user request: n itself
+// when oversubscription is enabled or n is within the core count,
+// runtime.NumCPU() otherwise. n <= 0 passes through (it means "reset to
+// GOMAXPROCS", which the runtime already bounds sensibly).
+func Clamp(n int) int {
+	if n <= 0 || oversubscribe.Load() {
+		return n
+	}
+	if ncpu := runtime.NumCPU(); n > ncpu {
+		return ncpu
+	}
+	return n
+}
 
 // SetDeterministic toggles the fixed-schedule reduction discipline
 // (default true). When false, Reduce may choose chunk sizes from the

@@ -1,0 +1,233 @@
+// AVX2 kernel for the float32 ELU map (elu32.go).
+//
+// eluBlock32 processes 16 elements per iteration as two 8-lane ymm
+// groups whose serial dependency chains interleave in the pipeline.
+// Every arithmetic step is an UNFUSED VMULPS/VADDPS/VSUBPS in exactly
+// the order of the scalar expM1Neg reference (the Go compiler emits the
+// same unfused sequence on amd64), the underflow clamp is a compare +
+// blend replaying the scalar branch, and the floor and 2^k construction
+// are the same integer-domain tricks — so each lane's bits are
+// identical to the pure-Go path and chunk boundaries stay invisible.
+
+#include "textflag.h"
+
+DATA eluHalf<>+0(SB)/8, $0x3f0000003f000000
+DATA eluHalf<>+8(SB)/8, $0x3f0000003f000000
+DATA eluHalf<>+16(SB)/8, $0x3f0000003f000000
+DATA eluHalf<>+24(SB)/8, $0x3f0000003f000000
+GLOBL eluHalf<>(SB), RODATA|NOPTR, $32
+
+DATA eluAbs<>+0(SB)/8, $0x7fffffff7fffffff
+DATA eluAbs<>+8(SB)/8, $0x7fffffff7fffffff
+DATA eluAbs<>+16(SB)/8, $0x7fffffff7fffffff
+DATA eluAbs<>+24(SB)/8, $0x7fffffff7fffffff
+GLOBL eluAbs<>(SB), RODATA|NOPTR, $32
+
+// expUnder = -87.33654f
+DATA eluUnder<>+0(SB)/8, $0xc2aeac4fc2aeac4f
+DATA eluUnder<>+8(SB)/8, $0xc2aeac4fc2aeac4f
+DATA eluUnder<>+16(SB)/8, $0xc2aeac4fc2aeac4f
+DATA eluUnder<>+24(SB)/8, $0xc2aeac4fc2aeac4f
+GLOBL eluUnder<>(SB), RODATA|NOPTR, $32
+
+// 1/ln2
+DATA eluInvLn2<>+0(SB)/8, $0x3fb8aa3b3fb8aa3b
+DATA eluInvLn2<>+8(SB)/8, $0x3fb8aa3b3fb8aa3b
+DATA eluInvLn2<>+16(SB)/8, $0x3fb8aa3b3fb8aa3b
+DATA eluInvLn2<>+24(SB)/8, $0x3fb8aa3b3fb8aa3b
+GLOBL eluInvLn2<>(SB), RODATA|NOPTR, $32
+
+// 16384.5: the add-large-bias floor
+DATA eluBias<>+0(SB)/8, $0x4680010046800100
+DATA eluBias<>+8(SB)/8, $0x4680010046800100
+DATA eluBias<>+16(SB)/8, $0x4680010046800100
+DATA eluBias<>+24(SB)/8, $0x4680010046800100
+GLOBL eluBias<>(SB), RODATA|NOPTR, $32
+
+DATA eluI16384<>+0(SB)/8, $0x0000400000004000
+DATA eluI16384<>+8(SB)/8, $0x0000400000004000
+DATA eluI16384<>+16(SB)/8, $0x0000400000004000
+DATA eluI16384<>+24(SB)/8, $0x0000400000004000
+GLOBL eluI16384<>(SB), RODATA|NOPTR, $32
+
+// ln2 hi/lo split
+DATA eluLn2Hi<>+0(SB)/8, $0x3f3180003f318000
+DATA eluLn2Hi<>+8(SB)/8, $0x3f3180003f318000
+DATA eluLn2Hi<>+16(SB)/8, $0x3f3180003f318000
+DATA eluLn2Hi<>+24(SB)/8, $0x3f3180003f318000
+GLOBL eluLn2Hi<>(SB), RODATA|NOPTR, $32
+
+DATA eluLn2Lo<>+0(SB)/8, $0xb95e8083b95e8083
+DATA eluLn2Lo<>+8(SB)/8, $0xb95e8083b95e8083
+DATA eluLn2Lo<>+16(SB)/8, $0xb95e8083b95e8083
+DATA eluLn2Lo<>+24(SB)/8, $0xb95e8083b95e8083
+GLOBL eluLn2Lo<>(SB), RODATA|NOPTR, $32
+
+// minimax polynomial coefficients, degree 5 down to 0
+DATA eluC5<>+0(SB)/8, $0x3950696739506967
+DATA eluC5<>+8(SB)/8, $0x3950696739506967
+DATA eluC5<>+16(SB)/8, $0x3950696739506967
+DATA eluC5<>+24(SB)/8, $0x3950696739506967
+GLOBL eluC5<>(SB), RODATA|NOPTR, $32
+
+DATA eluC4<>+0(SB)/8, $0x3ab743ce3ab743ce
+DATA eluC4<>+8(SB)/8, $0x3ab743ce3ab743ce
+DATA eluC4<>+16(SB)/8, $0x3ab743ce3ab743ce
+DATA eluC4<>+24(SB)/8, $0x3ab743ce3ab743ce
+GLOBL eluC4<>(SB), RODATA|NOPTR, $32
+
+DATA eluC3<>+0(SB)/8, $0x3c0889083c088908
+DATA eluC3<>+8(SB)/8, $0x3c0889083c088908
+DATA eluC3<>+16(SB)/8, $0x3c0889083c088908
+DATA eluC3<>+24(SB)/8, $0x3c0889083c088908
+GLOBL eluC3<>(SB), RODATA|NOPTR, $32
+
+DATA eluC2<>+0(SB)/8, $0x3d2aa9c13d2aa9c1
+DATA eluC2<>+8(SB)/8, $0x3d2aa9c13d2aa9c1
+DATA eluC2<>+16(SB)/8, $0x3d2aa9c13d2aa9c1
+DATA eluC2<>+24(SB)/8, $0x3d2aa9c13d2aa9c1
+GLOBL eluC2<>(SB), RODATA|NOPTR, $32
+
+DATA eluC1<>+0(SB)/8, $0x3e2aaaaa3e2aaaaa
+DATA eluC1<>+8(SB)/8, $0x3e2aaaaa3e2aaaaa
+DATA eluC1<>+16(SB)/8, $0x3e2aaaaa3e2aaaaa
+DATA eluC1<>+24(SB)/8, $0x3e2aaaaa3e2aaaaa
+GLOBL eluC1<>(SB), RODATA|NOPTR, $32
+
+DATA eluC0<>+0(SB)/8, $0x3f0000003f000000
+DATA eluC0<>+8(SB)/8, $0x3f0000003f000000
+DATA eluC0<>+16(SB)/8, $0x3f0000003f000000
+DATA eluC0<>+24(SB)/8, $0x3f0000003f000000
+GLOBL eluC0<>(SB), RODATA|NOPTR, $32
+
+DATA eluOne<>+0(SB)/8, $0x3f8000003f800000
+DATA eluOne<>+8(SB)/8, $0x3f8000003f800000
+DATA eluOne<>+16(SB)/8, $0x3f8000003f800000
+DATA eluOne<>+24(SB)/8, $0x3f8000003f800000
+GLOBL eluOne<>(SB), RODATA|NOPTR, $32
+
+DATA eluI127<>+0(SB)/8, $0x0000007f0000007f
+DATA eluI127<>+8(SB)/8, $0x0000007f0000007f
+DATA eluI127<>+16(SB)/8, $0x0000007f0000007f
+DATA eluI127<>+24(SB)/8, $0x0000007f0000007f
+GLOBL eluI127<>(SB), RODATA|NOPTR, $32
+
+// func eluBlock32(n int64, x, y *float32)
+//
+// n must be a positive multiple of 16. Register plan per 8-lane group
+// (a: even Y regs, b: odd): Y0/Y1 input v (live to the final blend),
+// Y2/Y3 w then r, Y4/Y5 k then the 2^k bits, Y6/Y7 fk then the select
+// mask, Y8/Y9 scratch then the result, Y10/Y11 the polynomial. Y12-Y15
+// hold the four constants touched more than once per group.
+TEXT ·eluBlock32(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), AX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+
+	VXORPS  Y12, Y12, Y12
+	VMOVUPS eluUnder<>(SB), Y13
+	VMOVUPS eluAbs<>(SB), Y14
+	VMOVUPS eluHalf<>(SB), Y15
+
+eloop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+
+	// w = 0.5*(v - |v|) = min(v, 0), bit-exact with minZero32
+	VANDPS Y14, Y0, Y2
+	VANDPS Y14, Y1, Y3
+	VSUBPS Y2, Y0, Y2
+	VSUBPS Y3, Y1, Y3
+	VMULPS Y15, Y2, Y2
+	VMULPS Y15, Y3, Y3
+
+	// if w < expUnder { w = expUnder }
+	VCMPPS    $1, Y13, Y2, Y6
+	VCMPPS    $1, Y13, Y3, Y7
+	VBLENDVPS Y6, Y13, Y2, Y2
+	VBLENDVPS Y7, Y13, Y3, Y3
+
+	// k = int32(w/ln2 + 16384.5) - 16384 (truncation of a positive value)
+	VMULPS     eluInvLn2<>(SB), Y2, Y4
+	VMULPS     eluInvLn2<>(SB), Y3, Y5
+	VADDPS     eluBias<>(SB), Y4, Y4
+	VADDPS     eluBias<>(SB), Y5, Y5
+	VCVTTPS2DQ Y4, Y4
+	VCVTTPS2DQ Y5, Y5
+	VPSUBD     eluI16384<>(SB), Y4, Y4
+	VPSUBD     eluI16384<>(SB), Y5, Y5
+	VCVTDQ2PS  Y4, Y6
+	VCVTDQ2PS  Y5, Y7
+
+	// r = w - fk*ln2hi; r -= fk*ln2lo
+	VMULPS eluLn2Hi<>(SB), Y6, Y8
+	VMULPS eluLn2Hi<>(SB), Y7, Y9
+	VSUBPS Y8, Y2, Y2
+	VSUBPS Y9, Y3, Y3
+	VMULPS eluLn2Lo<>(SB), Y6, Y8
+	VMULPS eluLn2Lo<>(SB), Y7, Y9
+	VSUBPS Y8, Y2, Y2
+	VSUBPS Y9, Y3, Y3
+
+	// z = ((((c5*r + c4)*r + c3)*r + c2)*r + c1)*r + c0
+	VMOVUPS eluC5<>(SB), Y10
+	VMOVUPS eluC5<>(SB), Y11
+	VMULPS  Y2, Y10, Y10
+	VMULPS  Y3, Y11, Y11
+	VADDPS  eluC4<>(SB), Y10, Y10
+	VADDPS  eluC4<>(SB), Y11, Y11
+	VMULPS  Y2, Y10, Y10
+	VMULPS  Y3, Y11, Y11
+	VADDPS  eluC3<>(SB), Y10, Y10
+	VADDPS  eluC3<>(SB), Y11, Y11
+	VMULPS  Y2, Y10, Y10
+	VMULPS  Y3, Y11, Y11
+	VADDPS  eluC2<>(SB), Y10, Y10
+	VADDPS  eluC2<>(SB), Y11, Y11
+	VMULPS  Y2, Y10, Y10
+	VMULPS  Y3, Y11, Y11
+	VADDPS  eluC1<>(SB), Y10, Y10
+	VADDPS  eluC1<>(SB), Y11, Y11
+	VMULPS  Y2, Y10, Y10
+	VMULPS  Y3, Y11, Y11
+	VADDPS  eluC0<>(SB), Y10, Y10
+	VADDPS  eluC0<>(SB), Y11, Y11
+
+	// pm1 = (z*r)*r + r
+	VMULPS Y2, Y10, Y8
+	VMULPS Y3, Y11, Y9
+	VMULPS Y2, Y8, Y8
+	VMULPS Y3, Y9, Y9
+	VADDPS Y2, Y8, Y8
+	VADDPS Y3, Y9, Y9
+
+	// scale = float32frombits((k+127) << 23)
+	VPADDD eluI127<>(SB), Y4, Y4
+	VPADDD eluI127<>(SB), Y5, Y5
+	VPSLLD $23, Y4, Y4
+	VPSLLD $23, Y5, Y5
+
+	// e = scale*pm1 + (scale - 1)
+	VMULPS Y4, Y8, Y8
+	VMULPS Y5, Y9, Y9
+	VSUBPS eluOne<>(SB), Y4, Y4
+	VSUBPS eluOne<>(SB), Y5, Y5
+	VADDPS Y4, Y8, Y8
+	VADDPS Y5, Y9, Y9
+
+	// positive lanes select the identity: e = v > 0 ? v : e
+	VCMPPS    $14, Y12, Y0, Y6
+	VCMPPS    $14, Y12, Y1, Y7
+	VBLENDVPS Y6, Y0, Y8, Y8
+	VBLENDVPS Y7, Y1, Y9, Y9
+
+	VMOVUPS Y8, (DI)
+	VMOVUPS Y9, 32(DI)
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $16, AX
+	JNZ  eloop
+
+	VZEROUPPER
+	RET

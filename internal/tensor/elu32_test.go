@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExpM1NegAccuracy sweeps the f32 ELU's polynomial exponential
+// against the float64 reference over the full negative range, including
+// the underflow cutoff and denormal-adjacent magnitudes. The bound is a
+// handful of float32 ulps — far below the serving twin's tolerance gate.
+func TestExpM1NegAccuracy(t *testing.T) {
+	maxRel := 0.0
+	for i := 0; i <= 2_000_000; i++ {
+		v := float32(-90 * float64(i) / 2_000_000)
+		got := float64(expM1Neg(v))
+		want := math.Expm1(float64(v))
+		rel := math.Abs(got-want) / (1 + math.Abs(want))
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 5e-7 {
+		t.Fatalf("expM1Neg max rel error %g exceeds 5e-7", maxRel)
+	}
+	if got := expM1Neg(-1000); got != -1 {
+		t.Fatalf("expM1Neg(-1000) = %v, want -1 (underflow clamp)", got)
+	}
+	if got := expM1Neg(0); got != 0 {
+		t.Fatalf("expM1Neg(0) = %v, want 0", got)
+	}
+}
+
+// TestExpM1Neg4LockstepWithScalar asserts the four-lane variant is
+// bitwise-identical to the scalar function on every lane — the contract
+// that makes block vs tail element placement (and hence parallel chunk
+// boundaries) invisible in the f32 ELU output.
+func TestExpM1Neg4LockstepWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200000; trial++ {
+		var v [4]float32
+		for j := range v {
+			switch trial % 3 {
+			case 0:
+				v[j] = -float32(rng.Float64()) * 100
+			case 1:
+				v[j] = -float32(rng.Float64()) // small magnitudes
+			default:
+				v[j] = -float32(rng.ExpFloat64())
+			}
+		}
+		g0, g1, g2, g3 := expM1Neg4(v[0], v[1], v[2], v[3])
+		for j, got := range [4]float32{g0, g1, g2, g3} {
+			if want := expM1Neg(v[j]); math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("lane %d input %g: expM1Neg4 %x != scalar %x", j, v[j],
+					math.Float32bits(got), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// eluScalarRef is the branchy reference the vector paths must match bit
+// for bit.
+func eluScalarRef(y, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := x[i]; v > 0 {
+			y[i] = v
+		} else {
+			y[i] = expM1Neg(v)
+		}
+	}
+}
+
+// TestEluRange32LockstepAcrossPaths runs EluRange32 with and without the
+// assembly kernel over random mixed-sign data at awkward lengths and
+// offsets and demands bitwise equality with the scalar reference. This
+// is the determinism contract: the 16-wide AVX2 block, the 4-wide Go
+// block, and the scalar tail all round every element identically, so
+// results cannot depend on chunk boundaries, thread count, or SIMD
+// availability.
+func TestEluRange32LockstepAcrossPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fill := func(x []float32) {
+		for i := range x {
+			switch rng.Intn(4) {
+			case 0:
+				x[i] = float32(rng.NormFloat64()) * 20
+			case 1:
+				x[i] = float32(rng.NormFloat64()) * 0.1
+			case 2:
+				x[i] = -float32(rng.ExpFloat64()) * 50
+			default:
+				x[i] = float32(rng.ExpFloat64())
+			}
+		}
+	}
+	for _, n := range []int{1, 3, 4, 15, 16, 17, 31, 32, 33, 100, 1024, 4097} {
+		for _, lo := range []int{0, 1, 5} {
+			if lo >= n {
+				continue
+			}
+			x := make([]float32, n)
+			fill(x)
+			want := make([]float32, n)
+			eluScalarRef(want, x, lo, n)
+
+			run := func(simd bool) []float32 {
+				prev := setSIMDELU(simd)
+				defer setSIMDELU(prev)
+				y := make([]float32, n)
+				EluRange32(y, x, lo, n)
+				return y
+			}
+			for _, simd := range []bool{false, true} {
+				got := run(simd)
+				for i := lo; i < n; i++ {
+					if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("n=%d lo=%d simd=%v elem %d input %g: got %x want %x",
+							n, lo, simd, i, x[i],
+							math.Float32bits(got[i]), math.Float32bits(want[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEluRange32SpecialValues pins the edge bits: zeros map to +0 on
+// every path (the polynomial normalizes -0's sign identically in Go and
+// assembly), deeply negative inputs saturate to exactly -1, and tiny
+// positives pass through as the identity.
+func TestEluRange32SpecialValues(t *testing.T) {
+	x := []float32{0, float32(math.Copysign(0, -1)), -1000, -87.4, -1e-30, 1e-30,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0} // pad to one full SIMD block
+	for _, simd := range []bool{false, true} {
+		prev := setSIMDELU(simd)
+		y := make([]float32, len(x))
+		EluRange32(y, x, 0, len(x))
+		setSIMDELU(prev)
+		if math.Float32bits(y[0]) != 0 {
+			t.Fatalf("simd=%v: ELU(+0) bits %x, want +0", simd, math.Float32bits(y[0]))
+		}
+		if math.Float32bits(y[1]) != 0 {
+			t.Fatalf("simd=%v: ELU(-0) bits %x, want +0", simd, math.Float32bits(y[1]))
+		}
+		if y[2] != -1 {
+			t.Fatalf("simd=%v: ELU(-1000) = %v, want -1", simd, y[2])
+		}
+		if y[5] != x[5] {
+			t.Fatalf("simd=%v: ELU(+1e-30) = %v, want identity", simd, y[5])
+		}
+	}
+}
+
+func BenchmarkEluRange32(b *testing.B) {
+	const n = 1 << 20
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = float32(math.Sin(float64(i))) * 2
+	}
+	for _, bc := range []struct {
+		name string
+		simd bool
+	}{{"simd", true}, {"go", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			prev := setSIMDELU(bc.simd)
+			defer setSIMDELU(prev)
+			if bc.simd && !simdELU {
+				b.Skip("no AVX2")
+			}
+			b.SetBytes(n * 4)
+			for i := 0; i < b.N; i++ {
+				EluRange32(y, x, 0, n)
+			}
+		})
+	}
+}

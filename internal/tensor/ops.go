@@ -110,6 +110,16 @@ func MatMul(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
+	// Above the K·N threshold the packed cache-blocked tier takes over
+	// (pack.go). The threshold never involves the row count, so a row's
+	// kernel is the same however rows are partitioned across ranks and
+	// threads; the pure-Go packed kernels are bitwise-identical to this
+	// one, and the SIMD kernels are bitwise-reproducible across thread
+	// counts (per-row FMA order fixed by shape alone).
+	if usePacked(a.Cols, b.Cols) {
+		matMulPacked(dst, a, b, false)
+		return
+	}
 	t := matMulPool.Get().(*matMulTask)
 	t.dst, t.a, t.b = dst, a, b
 	parallel.ForTask(a.Rows, forGrain(a.Cols*b.Cols), t)
@@ -122,6 +132,13 @@ type matMulATBTask struct{ dst, a, b *Matrix }
 func (t *matMulATBTask) Body(lo, hi int, acc []float64) {
 	a, b := t.a, t.b
 	in, n := a.Cols, b.Cols
+	// Packed tier: same chunk schedule and merge order, SIMD tile sweep
+	// inside the chunk (gemm_packed.go). Gated on the reduction shape
+	// (in·n) only, so engagement is independent of the row partition.
+	if simdGEMM && n >= 8 && usePacked(in, n) {
+		t.bodySIMD(lo, hi, acc)
+		return
+	}
 	// Rank-4 blocking over input rows: four (a-row, b-row) pairs stream
 	// against the accumulator per pass, quartering the accumulator
 	// traffic. The chunk schedule is unchanged, so the summation tree is
@@ -235,6 +252,14 @@ func MatMulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	// Packed tier: bᵀ packs into the same panel layout (pack.go), so the
+	// identical microkernel serves this form. SIMD-only — the pure-Go
+	// packed kernels match MatMul's grouped bits, not this kernel's plain
+	// per-k bits, so without SIMD the legacy kernel stays authoritative.
+	if simdGEMM && usePacked(a.Cols, b.Rows) {
+		matMulPacked(dst, a, b, true)
+		return
 	}
 	t := matMulABTPool.Get().(*matMulABTTask)
 	t.dst, t.a, t.b = dst, a, b

@@ -131,9 +131,25 @@ type (
 	// Inference is the forward-only serving engine compiled from a
 	// trained Model: no gradient or backward buffers, a fused
 	// encode→NMP→decode arena epoch with persistent preprocessed inputs,
-	// and overlapped halo exchange in pure-forward mode. Predictions are
-	// bitwise-equal to Model.Forward.
+	// and overlapped halo exchange in pure-forward mode. At the default
+	// Float64 precision predictions are bitwise-equal to Model.Forward;
+	// with Config.Precision = Float32 the engine serves the
+	// tolerance-gated single-precision twin instead.
 	Inference = gnn.Inference
+	// Precision selects the serving engine's numeric representation
+	// (Config.Precision; training always runs float64).
+	Precision = gnn.Precision
+)
+
+// Serving precisions (Config.Precision, consumed by NewInference).
+const (
+	// Float64 keeps bitwise train/infer parity (the default).
+	Float64 = gnn.Float64
+	// Float32 compiles the single-precision serving twin: parameters
+	// down-convert and pre-pack once, activations and GEMMs run in
+	// float32, predictions track the float64 engine to a tested
+	// tolerance and stay bitwise-reproducible across thread counts.
+	Float32 = gnn.Float32
 )
 
 // Halo exchange modes (paper Sec. III).
@@ -251,8 +267,20 @@ var (
 // pool workers are shared, so R ranks running kernels concurrently add
 // at most threads-1 pool goroutines on top of the R rank goroutines
 // (each rank also executes chunks itself), rather than R×threads.
+//
+// Requests beyond runtime.NumCPU() are clamped to the core count unless
+// SetOversubscribe(true) was called first: the kernels are compute-bound,
+// so extra workers only time-slice against each other — slower, identical
+// bits.
 func SetParallelism(threads int, deterministic bool) {
-	parallel.Configure(threads, deterministic)
+	parallel.Configure(parallel.Clamp(threads), deterministic)
+}
+
+// SetOversubscribe lifts the runtime.NumCPU() clamp applied by
+// SetParallelism and Config.Threads (default off). Enable it only to
+// measure oversubscription itself; it never changes numerical results.
+func SetOversubscribe(on bool) {
+	parallel.SetOversubscribe(on)
 }
 
 // Parallelism reports the engine's current (threads, deterministic)
