@@ -4,7 +4,10 @@
 //
 //   - mat_mul must beat the old report by at least -matmul-ratio (the
 //     packed cache-blocked GEMM tier vs the legacy kernels), and
-//   - infer_step must be strictly faster than the old report, and
+//   - infer_step must beat the old report by at least -infer-ratio
+//     (default 1.0, i.e. no regression; set below 1.0 when comparing a
+//     fresh run against a committed report from different hardware, where
+//     only gross regressions are meaningful), and
 //   - infer_step_f32, when present in the new report, must beat the new
 //     report's own float64 infer_step by at least -f32-ratio (the
 //     single-precision serving twin must pay for itself).
@@ -62,6 +65,7 @@ func main() {
 	oldPath := flag.String("old", "BENCH_PR5.json", "baseline bench report")
 	newPath := flag.String("new", "BENCH_PR6.json", "candidate bench report")
 	matmulRatio := flag.Float64("matmul-ratio", 1.3, "required old/new speedup on mat_mul")
+	inferRatio := flag.Float64("infer-ratio", 1.0, "required old/new speedup on infer_step (below 1.0 tolerates cross-hardware noise)")
 	f32Ratio := flag.Float64("f32-ratio", 1.2, "required infer_step/infer_step_f32 speedup within the new report")
 	flag.Parse()
 
@@ -90,7 +94,7 @@ func main() {
 		if oldNs == 0 || newNs == 0 {
 			fail("benchmark %q missing from a report (old=%v new=%v)", name, oldNs, newNs)
 		}
-		want := 1.0
+		want := *inferRatio
 		if name == "mat_mul" {
 			want = *matmulRatio
 		}

@@ -21,7 +21,7 @@ var (
 )
 
 // binaries compiled for the smoke tests.
-var commands = []string{"train", "scaling", "consistency", "meshinfo", "serve"}
+var commands = []string{"train", "scaling", "consistency", "meshinfo", "serve", "chaos"}
 
 // build compiles the cmd binaries once per test process.
 func build(t *testing.T) string {
@@ -269,6 +269,21 @@ func TestServeWritesPoint(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Fatalf("serving point missing %q:\n%s", want, data)
 		}
+	}
+}
+
+// TestChaosSmoke runs the fault-injection harness end to end: every
+// targeted scenario (delays, corruption, peer death, drops, serving-rank
+// panic) plus a couple of seeded random schedules must honor the
+// documented failure contract — clean classified errors, bounded
+// recovery, never a hang, never a wrong bitwise answer.
+func TestChaosSmoke(t *testing.T) {
+	out := runCmd(t, "chaos", "-seeds", "2")
+	if !strings.Contains(out, "honored the failure contract") {
+		t.Fatalf("chaos harness did not report success:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("chaos harness reported a failing scenario:\n%s", out)
 	}
 }
 

@@ -21,6 +21,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Tag labels a point-to-point message so mismatched communication patterns
@@ -115,6 +116,12 @@ type worldTransport struct {
 	lastF [][]float64 // indexed by src
 	lastI [][]int64
 	reqs  requestPool
+
+	// recvTimeout bounds blocking receives (SetRecvTimeout); the timer
+	// realizing it is reused across waits so a bounded steady state stays
+	// allocation-free.
+	recvTimeout time.Duration
+	timer       *time.Timer
 }
 
 // Transport returns the in-process transport endpoint for the given rank.
@@ -130,10 +137,22 @@ func (w *World) Transport(rank int) Transport {
 	}
 }
 
-func (t *worldTransport) Rank() int           { return t.rank }
-func (t *worldTransport) Size() int           { return t.w.size }
-func (t *worldTransport) Kind() TransportKind { return InProcess }
-func (t *worldTransport) Close() error        { return nil }
+func (t *worldTransport) Rank() int                      { return t.rank }
+func (t *worldTransport) Size() int                      { return t.w.size }
+func (t *worldTransport) Kind() TransportKind            { return InProcess }
+func (t *worldTransport) Close() error                   { return nil }
+func (t *worldTransport) SetRecvTimeout(d time.Duration) { t.recvTimeout = d }
+
+// recvMsg pulls the next message from src under the endpoint's receive
+// deadline, panicking with a classified error on expiry.
+func (t *worldTransport) recvMsg(src int) message {
+	m, _, timedOut := timedRecv(t.w.mail[t.rank][src], &t.timer, t.recvTimeout)
+	if timedOut {
+		panic(fmt.Errorf("comm: rank %d recv from %d: %w after %v",
+			t.rank, src, ErrTimeout, t.recvTimeout))
+	}
+	return m
+}
 
 // Send transmits a copy of data (the channel hands the same backing array
 // to the receiver, so the copy realizes the non-retention contract). The
@@ -164,7 +183,7 @@ func (t *worldTransport) recycleI(src int) {
 
 func (t *worldTransport) Recv(src int, tag Tag) []float64 {
 	t.recycleF(src)
-	m := <-t.w.mail[t.rank][src]
+	m := t.recvMsg(src)
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
 			t.rank, tag, src, m.tag))
@@ -181,7 +200,7 @@ func (t *worldTransport) SendInts(dst int, tag Tag, data []int64) {
 
 func (t *worldTransport) RecvInts(src int, tag Tag) []int64 {
 	t.recycleI(src)
-	m := <-t.w.mail[t.rank][src]
+	m := t.recvMsg(src)
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected int tag %d from %d, got %d",
 			t.rank, tag, src, m.tag))
@@ -205,14 +224,15 @@ func (t *worldTransport) IrecvF64(src int, tag Tag) *Request {
 }
 
 // progress implements reqOwner: it pulls the next message from the
-// request's source, blocking or polling.
+// request's source, blocking (under the endpoint's receive deadline) or
+// polling.
 func (t *worldTransport) progress(r *Request, block bool) bool {
 	if !r.recv {
 		return true
 	}
 	var m message
 	if block {
-		m = <-t.w.mail[t.rank][r.peer]
+		m = t.recvMsg(r.peer)
 	} else {
 		select {
 		case m = <-t.w.mail[t.rank][r.peer]:
@@ -220,6 +240,27 @@ func (t *worldTransport) progress(r *Request, block bool) bool {
 			return false
 		}
 	}
+	t.completeRecv(r, m)
+	return true
+}
+
+// progressTimeout is the non-panicking bounded wait behind
+// Request.WaitTimeout.
+func (t *worldTransport) progressTimeout(r *Request, d time.Duration) (bool, error) {
+	if !r.recv || r.done {
+		return true, nil
+	}
+	m, _, timedOut := timedRecv(t.w.mail[t.rank][r.peer], &t.timer, d)
+	if timedOut {
+		return false, nil
+	}
+	t.completeRecv(r, m)
+	return true, nil
+}
+
+// completeRecv validates the pulled message against the request and hands
+// its payload over under the ownership contract.
+func (t *worldTransport) completeRecv(r *Request, m message) {
 	if m.tag != r.tag || m.data == nil && m.ints != nil {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d (floats) from %d, got tag %d",
 			t.rank, r.tag, r.peer, m.tag))
@@ -229,7 +270,6 @@ func (t *worldTransport) progress(r *Request, block bool) bool {
 	t.recycleF(r.peer)
 	t.lastF[r.peer] = m.data
 	r.data = m.data
-	return true
 }
 
 func (t *worldTransport) releaseRequest(r *Request) { t.reqs.put(r) }
@@ -268,6 +308,15 @@ func (c *Comm) TransportKind() TransportKind { return c.t.Kind() }
 
 // Close releases the underlying transport.
 func (c *Comm) Close() error { return c.t.Close() }
+
+// SetRecvTimeout bounds every subsequent blocking wait on this rank's
+// endpoint — Recv, RecvInts, and receive Requests' Wait (and hence every
+// collective and halo exchange built on them): a wait exceeding d panics
+// with an ErrTimeout-classified error instead of hanging on a dead or
+// desynchronized peer. d <= 0 restores unbounded waits. The serving
+// facade arms this before evaluating each request so a stuck collective
+// unwinds within the request's deadline.
+func (c *Comm) SetRecvTimeout(d time.Duration) { c.t.SetRecvTimeout(d) }
 
 // Send transmits data to rank dst with the given tag. The buffer may be
 // reused by the caller once Send returns.
@@ -472,6 +521,31 @@ func RunCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
 	}, fn)
 }
 
+// RunWith is Run with a per-rank transport wrapper applied to every
+// endpoint before the rank function starts — the injection point for
+// FaultTransport (and any future interposer: tracing, traffic shaping).
+// wrap receives each rank's endpoint and returns the transport the rank
+// actually uses; a nil wrap (or identity return) degenerates to Run.
+func RunWith(size int, wrap func(Transport) Transport, fn func(c *Comm) error) error {
+	w := NewWorld(size)
+	_, err := runRanks(size, func(rank int) (Transport, error) {
+		return wrapTransport(w.Transport(rank), wrap), nil
+	}, func(c *Comm) (struct{}, error) {
+		return struct{}{}, fn(c)
+	})
+	return err
+}
+
+func wrapTransport(t Transport, wrap func(Transport) Transport) Transport {
+	if wrap == nil {
+		return t
+	}
+	if wt := wrap(t); wt != nil {
+		return wt
+	}
+	return t
+}
+
 // runRanks spawns one goroutine per rank, each with its own Comm built
 // from the transport factory, and gathers per-rank results. It is the
 // shared engine behind RunCollect (channel fabric) and RunSocketsCollect
@@ -486,7 +560,10 @@ func runRanks[T any](size int, transport func(rank int) (Transport, error), fn f
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("rank %d panicked: %v", rank, p)
+					// Preserve classified comm errors (ErrPeerDown,
+					// ErrTimeout, ErrCorruptFrame) through the recovery so
+					// callers can errors.Is on the run's result.
+					errs[rank] = fmt.Errorf("rank %d panicked: %w", rank, PanicError(p))
 				}
 			}()
 			t, err := transport(rank)

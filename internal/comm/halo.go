@@ -121,6 +121,14 @@ func ParseExchangeMode(s string) (ExchangeMode, error) {
 // pipeline calls the halves directly and runs interior compute between
 // them. Request slots and staging buffers are recycled across exchanges,
 // so a steady-state exchange allocates nothing on either transport.
+//
+// Failure semantics: the exchanger adds no failure handling of its own.
+// A dead peer or an expired receive deadline (Comm.SetRecvTimeout)
+// surfaces inside Finish as a classified panic (ErrPeerDown/ErrTimeout)
+// from the underlying Wait, which unwinds the rank goroutine to its
+// runner's recover — requests left pending by the unwind are abandoned,
+// never recycled, so a later exchange on a surviving endpoint cannot
+// observe a stale handle.
 type Exchanger struct {
 	Mode ExchangeMode
 	Plan *HaloPlan

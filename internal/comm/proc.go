@@ -160,7 +160,9 @@ func runProcRank(opts SocketOptions, rank, size int, fn func(c *Comm) error) (er
 	defer c.Close()
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("rank %d panicked: %v", rank, p)
+			// Keep classified comm errors in the chain (the worker's exit
+			// message is all the parent process gets to classify with).
+			err = fmt.Errorf("rank %d panicked: %w", rank, PanicError(p))
 		}
 	}()
 	return fn(c)

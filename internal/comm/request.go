@@ -1,5 +1,10 @@
 package comm
 
+import (
+	"fmt"
+	"time"
+)
+
 // Request is the handle of a nonblocking point-to-point operation
 // (Transport.IsendF64 / Transport.IrecvF64) — the library's stand-in for
 // MPI_Request in the paper's custom isend/irecv halo implementation.
@@ -44,8 +49,16 @@ type Request struct {
 type reqOwner interface {
 	// progress attempts to complete the request, blocking if block is
 	// set. It returns whether the request is now complete, filling
-	// r.data for receives. With block=true it must complete or panic.
+	// r.data for receives. With block=true it must complete or panic
+	// (blocking waits honor the endpoint's SetRecvTimeout bound and
+	// panic with an ErrTimeout-classified error when it expires).
 	progress(r *Request, block bool) bool
+	// progressTimeout blocks for at most d (always > 0: WaitTimeout
+	// handles d <= 0 as a poll) attempting to complete the request. It
+	// returns (true, nil) on completion, filling r.data for receives;
+	// (false, nil) on expiry; and (false, err) with an ErrPeerDown- or
+	// ErrCorruptFrame-classified error if the fabric failed underneath.
+	progressTimeout(r *Request, d time.Duration) (bool, error)
 	// releaseRequest resets the handle and returns it to the endpoint's
 	// free list.
 	releaseRequest(r *Request)
@@ -64,7 +77,10 @@ func (r *Request) Test() bool {
 
 // Wait blocks until the operation completes, releases the handle back to
 // its endpoint's pool, and returns the received payload (nil for sends).
-// The Request must not be used after Wait returns.
+// The Request must not be used after Wait returns. If the endpoint
+// carries a receive deadline (SetRecvTimeout), a Wait exceeding it panics
+// with an ErrTimeout-classified error — the mechanism that unwinds a rank
+// stuck in a collective whose peer died.
 func (r *Request) Wait() []float64 {
 	if !r.done {
 		r.owner.progress(r, true)
@@ -73,6 +89,35 @@ func (r *Request) Wait() []float64 {
 	data := r.data
 	r.owner.releaseRequest(r)
 	return data
+}
+
+// WaitTimeout is Wait with an explicit per-call deadline. On completion
+// within d it behaves exactly like Wait: the payload is returned and the
+// handle is released. On expiry it returns an ErrTimeout-classified error
+// and the request stays pending — like a false Test, the caller may keep
+// polling, call Wait/WaitTimeout again, or abandon the handle (an
+// abandoned handle is garbage collected but never returns to the
+// endpoint's pool). d <= 0 is an immediate poll, like Test.
+func (r *Request) WaitTimeout(d time.Duration) ([]float64, error) {
+	if !r.done {
+		var done bool
+		if d <= 0 {
+			done = r.owner.progress(r, false)
+		} else {
+			var err error
+			done, err = r.owner.progressTimeout(r, d)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !done {
+			return nil, fmt.Errorf("comm: request to/from rank %d %w after %v", r.peer, ErrTimeout, d)
+		}
+		r.done = true
+	}
+	data := r.data
+	r.owner.releaseRequest(r)
+	return data, nil
 }
 
 // requestPool is a per-endpoint free list of Request handles. Endpoints

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
@@ -14,20 +15,42 @@ import (
 
 // Wire protocol: every message is one frame,
 //
-//	[ kind:1 ][ tag:int32 LE ][ count:uint64 LE ][ payload: count × 8 bytes LE ]
+//	[ kind:1 ][ tag:int32 LE ][ count:uint64 LE ][ payload: count × 8 bytes LE ][ crc32c:4 LE ]
 //
 // kind 'F' carries float64 elements (math.Float64bits), kind 'I' carries
 // int64 elements, and kind 'H' is the connection hello whose tag field
 // holds the dialing rank. A single full-duplex stream connects each rank
 // pair, so per-pair delivery order is the send order — the same ordering
 // guarantee the channel fabric provides.
+//
+// Frame integrity: the trailer is a CRC-32C (Castagnoli) over the header
+// and payload bytes, and the header is validated strictly before any
+// allocation — the kind must be known, the tag in [0, maxWireTag], and
+// the count within the frame budget (SocketOptions.MaxFrameElems). A
+// frame failing any check is rejected with an ErrCorruptFrame-classified
+// diagnostic and the stream is torn down: a corrupt or malicious frame
+// can neither trigger a multi-GB allocation nor silently deliver flipped
+// bits as data.
 const (
 	frameFloats byte = 'F'
 	frameInts   byte = 'I'
 	frameHello  byte = 'H'
 
-	frameHeaderLen = 1 + 4 + 8
+	frameHeaderLen  = 1 + 4 + 8
+	frameTrailerLen = 4
+
+	// maxWireTag bounds the tag field of a valid frame. Application tags
+	// start at TagUser (100); anything near the int32 range is garbage.
+	maxWireTag = 1 << 20
+	// defaultMaxFrameElems is the default frame budget: 1<<24 elements
+	// (128 MiB of payload), comfortably above any halo or gradient
+	// message while keeping a forged count from allocating gigabytes.
+	defaultMaxFrameElems = 1 << 24
 )
+
+// crcTable is the Castagnoli polynomial table shared by all frames
+// (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // SocketOptions configures the socket fabric.
 type SocketOptions struct {
@@ -42,8 +65,21 @@ type SocketOptions struct {
 	BasePort int
 	// DialTimeout bounds how long a rank retries connecting to a peer's
 	// listener (peers start concurrently, so early dials race the
-	// listener setup). Defaults to 30s.
+	// listener setup). Retries back off exponentially from 1ms to 50ms
+	// between attempts. Defaults to 30s.
 	DialTimeout time.Duration
+	// IOTimeout bounds steady-state stream operations: each frame write,
+	// and the read of a frame's remaining bytes once its header has begun
+	// arriving (a partially delivered frame signals a wedged or dying
+	// peer; idle connections with no traffic are never timed out).
+	// Violations surface as ErrTimeout-classified failures. 0 disables
+	// (the default).
+	IOTimeout time.Duration
+	// MaxFrameElems is the frame budget: the largest element count a
+	// received frame header may claim before it is rejected as corrupt
+	// (ErrCorruptFrame) instead of allocating payload space for it.
+	// 0 means defaultMaxFrameElems (1<<24 elements, 128 MiB).
+	MaxFrameElems int
 }
 
 func (o SocketOptions) network() string {
@@ -69,6 +105,13 @@ func (o SocketOptions) dialTimeout() time.Duration {
 		return 30 * time.Second
 	}
 	return o.DialTimeout
+}
+
+func (o SocketOptions) maxFrameElems() int {
+	if o.MaxFrameElems <= 0 {
+		return defaultMaxFrameElems
+	}
+	return o.MaxFrameElems
 }
 
 // frame is one decoded message as delivered to a peer's inbox.
@@ -185,6 +228,21 @@ type SocketTransport struct {
 	ln    net.Listener
 	peers []*peer // indexed by rank; peers[rank] is the loopback
 	reqs  requestPool
+
+	ioTimeout time.Duration // per-write / mid-frame read deadline
+	maxElems  int           // frame budget (header count validation)
+
+	// recvTimeout bounds blocking inbox waits (SetRecvTimeout); timer is
+	// the reused deadline timer behind it.
+	recvTimeout time.Duration
+	timer       *time.Timer
+
+	// corruptBit, when >= 0, flips that bit (mod frame length) of the
+	// next outbound wire frame after its CRC trailer is sealed — the
+	// fault-injection hook FaultTransport uses to manufacture on-the-wire
+	// corruption that the receiver's integrity check must catch. Owned by
+	// the endpoint's goroutine like all other transport state.
+	corruptBit int
 }
 
 // NewSocketTransport establishes this rank's endpoint of the socket
@@ -201,7 +259,10 @@ func newSocketTransport(opts SocketOptions, rank, size int, kind TransportKind) 
 	if rank < 0 || rank >= size {
 		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", rank, size)
 	}
-	t := &SocketTransport{rank: rank, size: size, kind: kind, peers: make([]*peer, size)}
+	t := &SocketTransport{
+		rank: rank, size: size, kind: kind, peers: make([]*peer, size),
+		ioTimeout: opts.IOTimeout, maxElems: opts.maxFrameElems(), corruptBit: -1,
+	}
 	t.peers[rank] = newPeer(nil) // loopback: inbox only, no stream
 	if size == 1 {
 		return t, nil
@@ -257,11 +318,16 @@ func newPeer(conn net.Conn) *peer {
 	return p
 }
 
-// dialPeers connects to every lower rank, retrying until the peer's
-// listener is up, and identifies itself with a hello frame.
+// dialPeers connects to every lower rank, retrying with exponential
+// backoff (1ms doubling to a 50ms cap) until the peer's listener is up or
+// the dial timeout expires, and identifies itself with a hello frame. The
+// overall per-peer retry budget is bounded by DialTimeout, so a peer that
+// never comes up surfaces as an ErrPeerDown-classified handshake error
+// instead of hanging the world.
 func (t *SocketTransport) dialPeers(opts SocketOptions) error {
 	for r := t.rank - 1; r >= 0; r-- {
 		deadline := time.Now().Add(opts.dialTimeout())
+		backoff := time.Millisecond
 		var conn net.Conn
 		var err error
 		for {
@@ -269,16 +335,21 @@ func (t *SocketTransport) dialPeers(opts SocketOptions) error {
 			if err == nil || time.Now().After(deadline) {
 				break
 			}
-			time.Sleep(10 * time.Millisecond)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
 		}
 		if err != nil {
-			return fmt.Errorf("comm: rank %d dial rank %d: %w", t.rank, r, err)
+			return fmt.Errorf("comm: rank %d dial rank %d: %w", t.rank, r, classifyIOError(err))
 		}
-		var hello [frameHeaderLen]byte
+		var hello [frameHeaderLen + frameTrailerLen]byte
 		hello[0] = frameHello
 		binary.LittleEndian.PutUint32(hello[1:5], uint32(t.rank))
+		binary.LittleEndian.PutUint32(hello[frameHeaderLen:],
+			crc32.Checksum(hello[:frameHeaderLen], crcTable))
 		if _, err := conn.Write(hello[:]); err != nil {
-			return fmt.Errorf("comm: rank %d hello to rank %d: %w", t.rank, r, err)
+			return fmt.Errorf("comm: rank %d hello to rank %d: %w", t.rank, r, classifyIOError(err))
 		}
 		t.peers[r] = newPeer(conn)
 	}
@@ -300,12 +371,18 @@ func (t *SocketTransport) acceptPeers(timeout time.Duration) error {
 		if err != nil {
 			return err
 		}
-		var hello [frameHeaderLen]byte
+		var hello [frameHeaderLen + frameTrailerLen]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
 			return fmt.Errorf("comm: rank %d hello read: %w", t.rank, err)
 		}
 		if hello[0] != frameHello {
-			return fmt.Errorf("comm: rank %d expected hello frame, got kind %q", t.rank, hello[0])
+			return fmt.Errorf("comm: rank %d expected hello frame, got kind %q: %w",
+				t.rank, hello[0], ErrCorruptFrame)
+		}
+		if got, want := binary.LittleEndian.Uint32(hello[frameHeaderLen:]),
+			crc32.Checksum(hello[:frameHeaderLen], crcTable); got != want {
+			return fmt.Errorf("comm: rank %d hello CRC mismatch (got %08x want %08x): %w",
+				t.rank, got, want, ErrCorruptFrame)
 		}
 		src := int(binary.LittleEndian.Uint32(hello[1:5]))
 		if src <= t.rank || src >= t.size {
@@ -321,29 +398,71 @@ func (t *SocketTransport) acceptPeers(timeout time.Duration) error {
 
 // readLoop decodes frames from one peer's stream into its inbox. Payload
 // slices come from the peer's free lists, so steady-state traffic (fixed
-// message sizes, as in training) allocates nothing. On stream error the
-// inbox is closed; a Recv blocked on it reports the error.
+// message sizes, as in training) allocates nothing. Every frame passes
+// strict validation before its payload is staged: known kind, in-range
+// tag, count within the frame budget, and a matching CRC-32C trailer. On
+// stream error or a rejected frame the classified error is recorded and
+// the inbox is closed; a Recv blocked on it reports the error.
 func (t *SocketTransport) readLoop(src int, p *peer) {
+	fail := func(err error) {
+		p.readErr = err
+		close(p.inbox)
+	}
 	var hdr [frameHeaderLen]byte
 	for {
 		if _, err := io.ReadFull(p.rd, hdr[:]); err != nil {
-			p.readErr = err
-			close(p.inbox)
+			fail(classifyIOError(err))
 			return
 		}
 		kind := hdr[0]
 		tag := Tag(int32(binary.LittleEndian.Uint32(hdr[1:5])))
-		n := int(binary.LittleEndian.Uint64(hdr[5:]))
-		need := n * 8
+		count := binary.LittleEndian.Uint64(hdr[5:])
+
+		// Header validation happens before any allocation: a forged or
+		// corrupted count must not be trusted with memory.
+		if kind != frameFloats && kind != frameInts {
+			fail(fmt.Errorf("comm: unknown frame kind %q from rank %d: %w", kind, src, ErrCorruptFrame))
+			return
+		}
+		if tag < 0 || tag > maxWireTag {
+			fail(fmt.Errorf("comm: frame tag %d from rank %d outside [0,%d]: %w",
+				tag, src, maxWireTag, ErrCorruptFrame))
+			return
+		}
+		if count > uint64(t.maxElems) {
+			fail(fmt.Errorf("comm: frame count %d from rank %d exceeds budget %d: %w",
+				count, src, t.maxElems, ErrCorruptFrame))
+			return
+		}
+		n := int(count)
+
+		// The header arrived, so the rest of the frame is in flight: a
+		// peer that stalls mid-frame is wedged or dying, which the
+		// mid-frame deadline turns into a classified error.
+		if t.ioTimeout > 0 {
+			p.conn.SetReadDeadline(time.Now().Add(t.ioTimeout))
+		}
+		need := n*8 + frameTrailerLen
 		if cap(p.scratch) < need {
 			p.scratch = make([]byte, need)
 		}
 		buf := p.scratch[:need]
 		if _, err := io.ReadFull(p.rd, buf); err != nil {
-			p.readErr = err
-			close(p.inbox)
+			fail(classifyIOError(err))
 			return
 		}
+		if t.ioTimeout > 0 {
+			p.conn.SetReadDeadline(time.Time{})
+		}
+
+		crc := crc32.Checksum(hdr[:], crcTable)
+		crc = crc32.Update(crc, crcTable, buf[:n*8])
+		if got := binary.LittleEndian.Uint32(buf[n*8:]); got != crc {
+			fail(fmt.Errorf("comm: frame CRC mismatch from rank %d (kind %q tag %d count %d: got %08x want %08x): %w",
+				src, kind, tag, n, got, crc, ErrCorruptFrame))
+			return
+		}
+
 		fr := frame{kind: kind, tag: tag}
 		switch kind {
 		case frameFloats:
@@ -356,18 +475,35 @@ func (t *SocketTransport) readLoop(src int, p *peer) {
 			for i := range fr.i {
 				fr.i[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
 			}
-		default:
-			p.readErr = fmt.Errorf("comm: unknown frame kind %q from rank %d", kind, src)
-			close(p.inbox)
-			return
 		}
 		p.inbox <- fr
 	}
 }
 
-func (t *SocketTransport) Rank() int           { return t.rank }
-func (t *SocketTransport) Size() int           { return t.size }
-func (t *SocketTransport) Kind() TransportKind { return t.kind }
+func (t *SocketTransport) Rank() int                      { return t.rank }
+func (t *SocketTransport) Size() int                      { return t.size }
+func (t *SocketTransport) Kind() TransportKind            { return t.kind }
+func (t *SocketTransport) SetRecvTimeout(d time.Duration) { t.recvTimeout = d }
+
+// recvFrame pulls the next frame from a peer's inbox under the endpoint's
+// receive deadline, panicking with a classified error on expiry or a
+// closed (failed) stream.
+func (t *SocketTransport) recvFrame(src int, p *peer) frame {
+	fr, ok, timedOut := timedRecv(p.inbox, &t.timer, t.recvTimeout)
+	if timedOut {
+		panic(fmt.Errorf("comm: rank %d recv from %d: %w after %v",
+			t.rank, src, ErrTimeout, t.recvTimeout))
+	}
+	if !ok {
+		cause := classifyIOError(p.readErr)
+		if cause == nil {
+			cause = ErrPeerDown
+		}
+		panic(fmt.Errorf("comm: rank %d recv from %d: connection closed: %w",
+			t.rank, src, cause))
+	}
+	return fr
+}
 
 // Close shuts the listener and all peer streams. Blocked receives on any
 // rank observe the shutdown as a closed-connection panic.
@@ -397,7 +533,8 @@ func (t *SocketTransport) closeConns() error {
 
 // Send frames data onto the stream to dst (loopback for dst == rank). The
 // staging buffer is per-peer and reused, so a steady-state exchange
-// pattern allocates nothing.
+// pattern allocates nothing. A failed or timed-out write panics with a
+// classified error (ErrPeerDown / ErrTimeout).
 func (t *SocketTransport) Send(dst int, tag Tag, data []float64) {
 	p := t.peer(dst)
 	if dst == t.rank {
@@ -412,9 +549,7 @@ func (t *SocketTransport) Send(dst int, tag Tag, data []float64) {
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(buf[frameHeaderLen+i*8:], math.Float64bits(v))
 	}
-	if _, err := p.conn.Write(buf); err != nil {
-		panic(fmt.Sprintf("comm: rank %d send to %d: %v", t.rank, dst, err))
-	}
+	t.writeFrame(p, dst, buf)
 }
 
 // SendInts is Send for int64 payloads.
@@ -432,14 +567,14 @@ func (t *SocketTransport) SendInts(dst int, tag Tag, data []int64) {
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(buf[frameHeaderLen+i*8:], uint64(v))
 	}
-	if _, err := p.conn.Write(buf); err != nil {
-		panic(fmt.Sprintf("comm: rank %d send ints to %d: %v", t.rank, dst, err))
-	}
+	t.writeFrame(p, dst, buf)
 }
 
-// stage sizes the write buffer for one frame and fills its header.
+// stage sizes the write buffer for one frame (header + payload + CRC
+// trailer) and fills its header; the caller fills the payload and hands
+// the buffer to writeFrame, which seals and transmits it.
 func (p *peer) stage(kind byte, tag Tag, n int) []byte {
-	need := frameHeaderLen + n*8
+	need := frameHeaderLen + n*8 + frameTrailerLen
 	if cap(p.wbuf) < need {
 		p.wbuf = make([]byte, need)
 	}
@@ -450,6 +585,39 @@ func (p *peer) stage(kind byte, tag Tag, n int) []byte {
 	return buf
 }
 
+// writeFrame seals the staged frame with its CRC-32C trailer, applies the
+// fault-injection corruption hook if armed, and writes it under the
+// configured IO deadline, panicking with a classified error on failure.
+func (t *SocketTransport) writeFrame(p *peer, dst int, buf []byte) {
+	body := len(buf) - frameTrailerLen
+	binary.LittleEndian.PutUint32(buf[body:], crc32.Checksum(buf[:body], crcTable))
+	if t.corruptBit >= 0 {
+		bit := t.corruptBit % (len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+		t.corruptBit = -1
+	}
+	if t.ioTimeout > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(t.ioTimeout))
+	}
+	if _, err := p.conn.Write(buf); err != nil {
+		panic(fmt.Errorf("comm: rank %d send to %d: %w", t.rank, dst, classifyIOError(err)))
+	}
+	if t.ioTimeout > 0 {
+		p.conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// corruptNextFrame arms the wire-corruption hook: the next outbound frame
+// on this endpoint has the given bit (mod frame length) flipped after its
+// CRC trailer is computed, so the receiving rank's integrity check must
+// reject it. Fault-injection only; owned by the endpoint goroutine.
+func (t *SocketTransport) corruptNextFrame(bit int) {
+	if bit < 0 {
+		bit = 0
+	}
+	t.corruptBit = bit
+}
+
 // Recv returns the next float payload from src, recycling the previously
 // returned buffer.
 func (t *SocketTransport) Recv(src int, tag Tag) []float64 {
@@ -458,10 +626,7 @@ func (t *SocketTransport) Recv(src int, tag Tag) []float64 {
 		p.pool.putFloats(p.lastF)
 		p.lastF = nil
 	}
-	fr, ok := <-p.inbox
-	if !ok {
-		panic(fmt.Sprintf("comm: rank %d recv from %d: connection closed (%v)", t.rank, src, p.readErr))
-	}
+	fr := t.recvFrame(src, p)
 	if fr.kind != frameFloats || fr.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d (floats) from %d, got tag %d kind %q",
 			t.rank, tag, src, fr.tag, fr.kind))
@@ -477,10 +642,7 @@ func (t *SocketTransport) RecvInts(src int, tag Tag) []int64 {
 		p.pool.putInts(p.lastI)
 		p.lastI = nil
 	}
-	fr, ok := <-p.inbox
-	if !ok {
-		panic(fmt.Sprintf("comm: rank %d recv ints from %d: connection closed (%v)", t.rank, src, p.readErr))
-	}
+	fr := t.recvFrame(src, p)
 	if fr.kind != frameInts || fr.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d (ints) from %d, got tag %d kind %q",
 			t.rank, tag, src, fr.tag, fr.kind))
@@ -515,19 +677,54 @@ func (t *SocketTransport) progress(r *Request, block bool) bool {
 	}
 	p := t.peer(r.peer)
 	var fr frame
-	var ok bool
 	if block {
-		fr, ok = <-p.inbox
+		fr = t.recvFrame(r.peer, p)
 	} else {
+		var ok bool
 		select {
 		case fr, ok = <-p.inbox:
+			if !ok {
+				cause := classifyIOError(p.readErr)
+				if cause == nil {
+					cause = ErrPeerDown
+				}
+				panic(fmt.Errorf("comm: rank %d recv from %d: connection closed: %w",
+					t.rank, r.peer, cause))
+			}
 		default:
 			return false
 		}
 	}
-	if !ok {
-		panic(fmt.Sprintf("comm: rank %d recv from %d: connection closed (%v)", t.rank, r.peer, p.readErr))
+	t.completeRecv(r, p, fr)
+	return true
+}
+
+// progressTimeout is the non-panicking bounded wait behind
+// Request.WaitTimeout.
+func (t *SocketTransport) progressTimeout(r *Request, d time.Duration) (bool, error) {
+	if !r.recv || r.done {
+		return true, nil
 	}
+	p := t.peer(r.peer)
+	fr, ok, timedOut := timedRecv(p.inbox, &t.timer, d)
+	if timedOut {
+		return false, nil
+	}
+	if !ok {
+		cause := classifyIOError(p.readErr)
+		if cause == nil {
+			cause = ErrPeerDown
+		}
+		return false, fmt.Errorf("comm: rank %d recv from %d: connection closed: %w",
+			t.rank, r.peer, cause)
+	}
+	t.completeRecv(r, p, fr)
+	return true, nil
+}
+
+// completeRecv validates the pulled frame against the request and hands
+// its payload over under the ownership contract.
+func (t *SocketTransport) completeRecv(r *Request, p *peer, fr frame) {
 	if fr.kind != frameFloats || fr.tag != r.tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d (floats) from %d, got tag %d kind %q",
 			t.rank, r.tag, r.peer, fr.tag, fr.kind))
@@ -537,7 +734,6 @@ func (t *SocketTransport) progress(r *Request, block bool) bool {
 	}
 	p.lastF = fr.f
 	r.data = fr.f
-	return true
 }
 
 func (t *SocketTransport) releaseRequest(r *Request) { t.reqs.put(r) }
@@ -564,6 +760,19 @@ func RunSockets(size int, fn func(c *Comm) error) error {
 // RunSocketsCollect is RunSockets with a per-rank return value, indexed
 // by rank.
 func RunSocketsCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
+	return runSocketsWith[T](size, nil, fn)
+}
+
+// RunSocketsWith is RunSockets with a per-rank transport wrapper (the
+// fault-injection hook; see RunWith).
+func RunSocketsWith(size int, wrap func(Transport) Transport, fn func(c *Comm) error) error {
+	_, err := runSocketsWith(size, wrap, func(c *Comm) (struct{}, error) {
+		return struct{}{}, fn(c)
+	})
+	return err
+}
+
+func runSocketsWith[T any](size int, wrap func(Transport) Transport, fn func(c *Comm) (T, error)) ([]T, error) {
 	dir, err := os.MkdirTemp("", "meshgnn-sock-")
 	if err != nil {
 		return nil, err
@@ -571,6 +780,10 @@ func RunSocketsCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error
 	defer os.RemoveAll(dir)
 	opts := SocketOptions{Network: "unix", Dir: dir}
 	return runRanks(size, func(rank int) (Transport, error) {
-		return NewSocketTransport(opts, rank, size)
+		t, err := NewSocketTransport(opts, rank, size)
+		if err != nil {
+			return nil, err
+		}
+		return wrapTransport(t, wrap), nil
 	}, fn)
 }

@@ -1,6 +1,9 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Transport is the point-to-point substrate a Comm builds its collectives
 // on. Two implementations ship with the library:
@@ -58,11 +61,49 @@ type Transport interface {
 	// from src. The payload becomes available through the returned
 	// Request's Wait; at most one receive may be outstanding per source.
 	IrecvF64(src int, tag Tag) *Request
+	// SetRecvTimeout bounds every subsequent blocking receive — Recv,
+	// RecvInts, and a receive Request's blocking Wait — on this endpoint:
+	// a wait that exceeds d panics with an ErrTimeout-classified error
+	// instead of blocking forever on a dead or desynchronized peer.
+	// d <= 0 restores unbounded waits (the default). The bound is
+	// realized with a reused per-endpoint timer, so steady-state receives
+	// stay allocation-free with a deadline armed.
+	SetRecvTimeout(d time.Duration)
 	// Kind reports which fabric this transport realizes.
 	Kind() TransportKind
 	// Close releases the transport's resources (connections, listeners).
 	// The in-process fabric is GC-managed and Close is a no-op.
 	Close() error
+}
+
+// timedRecv receives from ch with an optional bound d (d <= 0 blocks
+// unboundedly). The timer behind the bound is owned by the caller through
+// tp and reused across calls — allocated lazily on the first bounded
+// receive, then armed and disarmed with Reset/Stop — so a steady-state
+// receive loop with a deadline configured performs no allocation.
+// Endpoints are single-goroutine (see Transport), which makes the
+// Reset/Stop/drain sequence race-free.
+func timedRecv[T any](ch <-chan T, tp **time.Timer, d time.Duration) (v T, ok bool, timedOut bool) {
+	if d <= 0 {
+		v, ok = <-ch
+		return v, ok, false
+	}
+	t := *tp
+	if t == nil {
+		t = time.NewTimer(d)
+		*tp = t
+	} else {
+		t.Reset(d)
+	}
+	select {
+	case v, ok = <-ch:
+		if !t.Stop() {
+			<-t.C // drain a concurrent expiry so the next Reset is clean
+		}
+		return v, ok, false
+	case <-t.C:
+		return v, false, true
+	}
 }
 
 // TransportKind names the available rank fabrics.

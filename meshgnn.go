@@ -38,6 +38,7 @@ package meshgnn
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"meshgnn/internal/comm"
 	"meshgnn/internal/field"
@@ -139,6 +140,46 @@ type (
 	// Precision selects the serving engine's numeric representation
 	// (Config.Precision; training always runs float64).
 	Precision = gnn.Precision
+	// FaultPlan is a deterministic per-rank fault schedule; hand its Wrap
+	// to RunOnWith or ServeOptions.WrapTransport to inject failures.
+	FaultPlan = comm.FaultPlan
+	// FaultEvent is one scheduled fault (trigger op, kind, target peer).
+	FaultEvent = comm.FaultEvent
+	// FaultKind names an injectable failure mode.
+	FaultKind = comm.FaultKind
+	// FaultTransport interposes a fault schedule on a transport endpoint.
+	FaultTransport = comm.FaultTransport
+)
+
+// Classified failure sentinels: every transport- or serving-level failure
+// wraps exactly one observable class, testable with errors.Is. See the
+// README's "Failure contract" for the full taxonomy.
+var (
+	// ErrPeerDown marks a dead or disconnected peer rank.
+	ErrPeerDown = comm.ErrPeerDown
+	// ErrTimeout marks an expired wait bound (receive deadline, request
+	// deadline, mid-frame IO deadline).
+	ErrTimeout = comm.ErrTimeout
+	// ErrCorruptFrame marks a socket frame rejected by integrity checks.
+	ErrCorruptFrame = comm.ErrCorruptFrame
+	// ErrFault marks a failure manufactured by fault injection.
+	ErrFault = comm.ErrFault
+)
+
+// Injectable fault kinds (FaultEvent.Kind).
+const (
+	// FaultDelay stalls one operation (jitter; result stays correct).
+	FaultDelay = comm.FaultDelay
+	// FaultPeerDown makes one peer look permanently dead to a rank.
+	FaultPeerDown = comm.FaultPeerDown
+	// FaultDropSend swallows one outbound message.
+	FaultDropSend = comm.FaultDropSend
+	// FaultDupSend transmits one outbound message twice.
+	FaultDupSend = comm.FaultDupSend
+	// FaultCorruptFrame damages one message so the receiver rejects it.
+	FaultCorruptFrame = comm.FaultCorruptFrame
+	// FaultPanic makes one operation panic with ErrFault.
+	FaultPanic = comm.FaultPanic
 )
 
 // Serving precisions (Config.Precision, consumed by NewInference).
@@ -257,6 +298,13 @@ var (
 	// LoadInference reads a SaveModel checkpoint and compiles a serving
 	// engine from it.
 	LoadInference = gnn.LoadInference
+	// NewFaultPlan returns an empty fault schedule (build it with Add).
+	NewFaultPlan = comm.NewFaultPlan
+	// NewFaultTransport wraps one endpoint with a fault schedule (nil
+	// plan = pure op-counting passthrough, useful for calibration).
+	NewFaultTransport = comm.NewFaultTransport
+	// RandomFaultPlan draws a deterministic fault schedule from a seed.
+	RandomFaultPlan = comm.RandomFaultPlan
 )
 
 // SetParallelism configures the process-wide intra-rank compute engine:
@@ -362,6 +410,14 @@ type Rank struct {
 // ID returns the rank index.
 func (r *Rank) ID() int { return r.Ctx.Comm.Rank() }
 
+// SetCommTimeout bounds every subsequent blocking communication wait on
+// this rank — collectives, halo exchanges, the loss reduction: a wait
+// exceeding d fails with an ErrTimeout-classified error instead of
+// hanging on a dead or desynchronized peer. d <= 0 restores unbounded
+// waits (the default). The bound is realized with a reused per-rank
+// timer, so a bounded steady state stays allocation-free.
+func (r *Rank) SetCommTimeout(d time.Duration) { r.Ctx.Comm.SetRecvTimeout(d) }
+
 // Sample fills a node-attribute matrix from an analytic field at time t.
 func (r *Rank) Sample(f Field, t float64) *Matrix {
 	return field.Sample(f, r.Graph, t)
@@ -417,6 +473,15 @@ func (s *System) Run(mode ExchangeMode, fn func(r *Rank) error) error {
 // The deterministic collectives make training bitwise-identical across
 // all three (asserted by cmd/consistency -transport=both).
 func (s *System) RunOn(kind TransportKind, mode ExchangeMode, fn func(r *Rank) error) error {
+	return s.RunOnWith(kind, mode, nil, fn)
+}
+
+// RunOnWith is RunOn with a per-rank transport wrapper applied to every
+// endpoint before fn starts — the injection point for fault schedules
+// (FaultPlan.Wrap) and any other interposer. A nil wrap degenerates to
+// RunOn. Process ranks cannot carry an in-memory wrapper across the exec
+// boundary, so Processes with a non-nil wrap is rejected.
+func (s *System) RunOnWith(kind TransportKind, mode ExchangeMode, wrap func(Transport) Transport, fn func(r *Rank) error) error {
 	run := func(c *comm.Comm) error {
 		rc, err := gnn.NewRankContext(c, s.Mesh, s.Locals[c.Rank()], mode)
 		if err != nil {
@@ -426,10 +491,13 @@ func (s *System) RunOn(kind TransportKind, mode ExchangeMode, fn func(r *Rank) e
 	}
 	switch kind {
 	case InProcess:
-		return comm.Run(s.Ranks, run)
+		return comm.RunWith(s.Ranks, wrap, run)
 	case Sockets:
-		return comm.RunSockets(s.Ranks, run)
+		return comm.RunSocketsWith(s.Ranks, wrap, run)
 	case Processes:
+		if wrap != nil {
+			return fmt.Errorf("meshgnn: transport wrappers cannot cross the process boundary; use goroutine ranks")
+		}
 		return comm.RunProcs(s.Ranks, run)
 	}
 	return fmt.Errorf("meshgnn: unknown transport kind %v", kind)

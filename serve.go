@@ -1,9 +1,12 @@
 package meshgnn
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"meshgnn/internal/comm"
 	"meshgnn/internal/gnn"
 	"meshgnn/internal/tensor"
 )
@@ -19,90 +22,228 @@ import (
 // A Server is safe for concurrent use; requests are serialized (the
 // underlying evaluation is collective across all ranks, so two requests
 // cannot usefully interleave on one system).
+//
+// Failure contract: every rank-side failure is caught per request — a
+// panicking rank recovers, records a classified error on the request, and
+// the caller's Predict/Rollout returns the root cause (errors.Is
+// ErrPeerDown / ErrTimeout / ErrCorruptFrame as appropriate) instead of
+// hanging or crashing the process. Because a failed collective leaves the
+// fabric desynchronized mid-pattern, the server then fails fast: the
+// first rank failure is terminal, later calls return the root-caused
+// error immediately, and Close still returns deterministically. Serving
+// ranks evaluate under a receive deadline (ServeOptions.RecvTimeout, 30s
+// default), so peers of a dead rank unwind within the deadline rather
+// than blocking forever.
 type Server struct {
-	sys     *System
-	ranks   int
-	in, out int // model input/output widths, for request validation
+	sys        *System
+	ranks      int
+	in, out    int // model input/output widths, for request validation
+	reqTimeout time.Duration
+	recvTime   time.Duration
 
 	mu     sync.Mutex
 	reqs   []chan *serveReq
-	runErr chan error
-	err    error
 	closed bool
+	err    error // terminal error, set on Close or first fatal
+
+	fatalOnce  sync.Once
+	fatal      chan struct{} // closed on the first rank-fatal failure
+	fatalCause []error       // rank failures in arrival order (under mu)
+	done       chan struct{} // closed when the rank world has exited
+	runErr     error         // RunOn's result, valid once done is closed
+}
+
+// ServeOptions tunes the failure handling of a serving world. The zero
+// value is Serve's default configuration.
+type ServeOptions struct {
+	// RequestTimeout bounds every Predict/Rollout call (overridable per
+	// call with PredictTimeout/RolloutTimeout). 0 means no deadline.
+	RequestTimeout time.Duration
+	// RecvTimeout bounds every blocking receive inside the collective
+	// evaluation on each serving rank, so a rank whose peer died unwinds
+	// with an ErrTimeout-classified failure instead of hanging. 0 means
+	// the 30s default; negative disables the bound entirely. A pending
+	// request's own timeout tightens the bound for that evaluation when
+	// it is shorter.
+	RecvTimeout time.Duration
+	// WrapTransport interposes on every rank's transport endpoint before
+	// serving starts — the fault-injection hook (FaultPlan.Wrap) and any
+	// future interposer. nil serves on the bare fabric.
+	WrapTransport func(Transport) Transport
+}
+
+// defaultServeRecvTimeout bounds collective receives on serving ranks
+// when ServeOptions doesn't say otherwise: generous against slow ranks,
+// small against a request stream stalled on a dead peer.
+const defaultServeRecvTimeout = 30 * time.Second
+
+func (o ServeOptions) recvTimeout() time.Duration {
+	if o.RecvTimeout == 0 {
+		return defaultServeRecvTimeout
+	}
+	if o.RecvTimeout < 0 {
+		return 0
+	}
+	return o.RecvTimeout
 }
 
 // serveReq is one collective evaluation: a per-rank snapshot in, a
 // per-rank prediction (steps == 0) or steps-application trajectory
-// (steps > 0) out.
+// (steps > 0) out. Each rank writes only its own outs/trajs/errs slot;
+// the submitter reads them after done is closed (the channel close is the
+// happens-before edge).
 type serveReq struct {
-	inputs []*tensor.Matrix
-	steps  int
-	outs   []*tensor.Matrix
-	trajs  [][]*tensor.Matrix
-	wg     sync.WaitGroup
+	inputs  []*tensor.Matrix
+	steps   int
+	timeout time.Duration // the submitter's deadline, tightens rank recv bounds
+	outs    []*tensor.Matrix
+	trajs   [][]*tensor.Matrix
+	errs    []error
+
+	mu      sync.Mutex
+	pending int
+	done    chan struct{}
+}
+
+// finish records one rank's outcome; the last rank closes done.
+func (req *serveReq) finish(rank int, err error) {
+	req.errs[rank] = err
+	req.mu.Lock()
+	req.pending--
+	last := req.pending == 0
+	req.mu.Unlock()
+	if last {
+		close(req.done)
+	}
 }
 
 // Serve starts persistent serving ranks over the given transport and
-// exchange mode. The model's parameters are snapshotted before Serve
+// exchange mode with default options; see ServeWith.
+func (s *System) Serve(kind TransportKind, mode ExchangeMode, model *Model) (*Server, error) {
+	return s.ServeWith(kind, mode, model, ServeOptions{})
+}
+
+// ServeWith starts persistent serving ranks over the given transport and
+// exchange mode. The model's parameters are snapshotted before ServeWith
 // returns and each rank compiles a forward-only Inference engine from
 // its own copy, so the caller's model stays free for further training —
-// the server keeps serving the parameters as of the Serve call.
+// the server keeps serving the parameters as of the ServeWith call.
 // Supported transports are InProcess and Sockets (goroutine ranks —
 // request matrices cross no process boundary); Processes ranks cannot
 // receive in-memory requests, so drive the engine directly inside RunOn
 // for that case (as cmd/serve -procs does).
 //
 // Close the server to release the rank goroutines.
-func (s *System) Serve(kind TransportKind, mode ExchangeMode, model *Model) (*Server, error) {
+func (s *System) ServeWith(kind TransportKind, mode ExchangeMode, model *Model, opts ServeOptions) (*Server, error) {
 	if kind == Processes {
 		return nil, fmt.Errorf("meshgnn: Serve needs in-memory requests; run the engine inside RunOn for process ranks")
 	}
-	// Snapshot synchronously: the rank goroutines start after Serve
+	// Snapshot synchronously: the rank goroutines start after ServeWith
 	// returns, and the caller may immediately resume training the model.
 	snapshot := make([][]float64, len(model.Params()))
 	for i, p := range model.Params() {
 		snapshot[i] = append([]float64(nil), p.W.Data...)
 	}
 	srv := &Server{
-		sys:    s,
-		ranks:  s.Ranks,
-		in:     model.Config.InputNodeFeatures,
-		out:    model.Config.OutputNodeFeatures,
-		reqs:   make([]chan *serveReq, s.Ranks),
-		runErr: make(chan error, 1),
+		sys:        s,
+		ranks:      s.Ranks,
+		in:         model.Config.InputNodeFeatures,
+		out:        model.Config.OutputNodeFeatures,
+		reqTimeout: opts.RequestTimeout,
+		recvTime:   opts.recvTimeout(),
+		reqs:       make([]chan *serveReq, s.Ranks),
+		fatal:      make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	for i := range srv.reqs {
 		srv.reqs[i] = make(chan *serveReq)
 	}
 	go func() {
-		srv.runErr <- s.RunOn(kind, mode, func(r *Rank) error {
-			mdl, err := gnn.NewModel(model.Config)
-			if err != nil {
+		err := s.RunOnWith(kind, mode, opts.WrapTransport, func(r *Rank) error {
+			// Any rank-side error — engine setup or a failed request —
+			// trips the fatal latch the moment the rank exits, so pending
+			// and future submitters stop waiting on a shrinking world.
+			if err := srv.serveRank(r, snapshot, model.Config); err != nil {
+				srv.noteFatal(err)
 				return err
-			}
-			for i, p := range mdl.Params() {
-				copy(p.W.Data, snapshot[i])
-			}
-			eng, err := gnn.NewInference(mdl)
-			if err != nil {
-				return err
-			}
-			id := r.ID()
-			for req := range srv.reqs[id] {
-				if req.steps > 0 {
-					req.trajs[id] = eng.Rollout(r.Ctx, req.inputs[id], req.steps)
-				} else {
-					// The engine recycles its prediction buffer after one
-					// further call; responses escape the server, so each
-					// gets its own copy.
-					req.outs[id] = eng.Predict(r.Ctx, req.inputs[id]).Clone()
-				}
-				req.wg.Done()
 			}
 			return nil
 		})
+		srv.mu.Lock()
+		srv.runErr = err
+		srv.mu.Unlock()
+		if err != nil {
+			srv.noteFatal(err)
+		}
+		close(srv.done)
 	}()
 	return srv, nil
+}
+
+// noteFatal records a rank-side failure and trips the fatal latch. The
+// first recorded cause is what submitters blocked on the latch see; the
+// full list feeds the terminal root-cause preference.
+func (srv *Server) noteFatal(err error) {
+	srv.mu.Lock()
+	srv.fatalCause = append(srv.fatalCause, err)
+	srv.mu.Unlock()
+	srv.fatalOnce.Do(func() { close(srv.fatal) })
+}
+
+// serveRank is one rank's serving loop: compile the engine from the
+// parameter snapshot, then evaluate requests until the channel closes or
+// a request fails. A failed evaluation is terminal for the whole server
+// (the collective fabric is desynchronized mid-pattern), but it is caught
+// per request: the error lands on the request and in the server's fatal
+// state, never as a crashed process.
+func (srv *Server) serveRank(r *Rank, snapshot [][]float64, cfg Config) error {
+	mdl, err := gnn.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	for i, p := range mdl.Params() {
+		copy(p.W.Data, snapshot[i])
+	}
+	eng, err := gnn.NewInference(mdl)
+	if err != nil {
+		return err
+	}
+	id := r.ID()
+	for req := range srv.reqs[id] {
+		if err := srv.serveOne(r, eng, req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveOne evaluates one request on one rank under panic recovery and the
+// effective receive deadline, and always finishes the rank's slot — the
+// submitter never waits on a rank that already failed.
+func (srv *Server) serveOne(r *Rank, eng *gnn.Inference, req *serveReq) (err error) {
+	id := r.ID()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("meshgnn: serving rank %d: %w", id, comm.PanicError(p))
+		}
+		req.finish(id, err)
+	}()
+	// The request's own deadline tightens the serving receive bound: a
+	// collective stuck past the caller's patience unwinds instead of
+	// pinning the rank.
+	d := srv.recvTime
+	if req.timeout > 0 && (d <= 0 || req.timeout < d) {
+		d = req.timeout
+	}
+	r.Ctx.Comm.SetRecvTimeout(d)
+	if req.steps > 0 {
+		req.trajs[id] = eng.Rollout(r.Ctx, req.inputs[id], req.steps)
+	} else {
+		// The engine recycles its prediction buffer after one further
+		// call; responses escape the server, so each gets its own copy.
+		req.outs[id] = eng.Predict(r.Ctx, req.inputs[id]).Clone()
+	}
+	return nil
 }
 
 // Ranks returns the number of serving ranks; Predict and Rollout take one
@@ -112,9 +253,20 @@ func (srv *Server) Ranks() int { return srv.ranks }
 // Predict submits one node-feature snapshot per rank (inputs[r] is rank
 // r's NumLocal×InputNodeFeatures matrix) and returns the per-rank
 // predictions. The evaluation is collective; the call blocks until every
-// rank finished.
+// rank finished, bounded by ServeOptions.RequestTimeout if one was set.
 func (srv *Server) Predict(inputs []*Matrix) ([]*Matrix, error) {
-	req, err := srv.submit(inputs, 0)
+	return srv.PredictTimeout(inputs, srv.reqTimeout)
+}
+
+// PredictTimeout is Predict under an explicit deadline: if the collective
+// evaluation has not completed within d the call returns an
+// ErrTimeout-classified error. The evaluation itself is then bounded by
+// the same deadline through the ranks' receive timeouts — a rank stuck in
+// a collective unwinds (failing the server fast) while ranks that are
+// merely slow finish their work and keep the server usable; only the
+// abandoned result is discarded. d <= 0 means no deadline.
+func (srv *Server) PredictTimeout(inputs []*Matrix, d time.Duration) ([]*Matrix, error) {
+	req, err := srv.submit(inputs, 0, d)
 	if err != nil {
 		return nil, err
 	}
@@ -126,10 +278,16 @@ func (srv *Server) Predict(inputs []*Matrix) ([]*Matrix, error) {
 // states (including the initial one). The model's input and output widths
 // must match.
 func (srv *Server) Rollout(inputs []*Matrix, steps int) ([][]*Matrix, error) {
+	return srv.RolloutTimeout(inputs, steps, srv.reqTimeout)
+}
+
+// RolloutTimeout is Rollout under an explicit deadline, with
+// PredictTimeout's semantics.
+func (srv *Server) RolloutTimeout(inputs []*Matrix, steps int, d time.Duration) ([][]*Matrix, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("meshgnn: rollout needs steps >= 1, got %d", steps)
 	}
-	req, err := srv.submit(inputs, steps)
+	req, err := srv.submit(inputs, steps, d)
 	if err != nil {
 		return nil, err
 	}
@@ -137,9 +295,10 @@ func (srv *Server) Rollout(inputs []*Matrix, steps int) ([][]*Matrix, error) {
 }
 
 // submit validates the snapshots, fans the request out to every rank, and
-// waits for the collective evaluation. steps > 0 requests a rollout of
-// steps autoregressive applications; 0 a single prediction.
-func (srv *Server) submit(inputs []*Matrix, steps int) (*serveReq, error) {
+// waits for the collective evaluation under the deadline. steps > 0
+// requests a rollout of steps autoregressive applications; 0 a single
+// prediction.
+func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) (*serveReq, error) {
 	if len(inputs) != srv.ranks {
 		return nil, fmt.Errorf("meshgnn: %d snapshots for %d serving ranks", len(inputs), srv.ranks)
 	}
@@ -156,49 +315,125 @@ func (srv *Server) submit(inputs []*Matrix, steps int) (*serveReq, error) {
 		}
 	}
 	req := &serveReq{
-		inputs: inputs,
-		steps:  steps,
-		outs:   make([]*tensor.Matrix, srv.ranks),
-		trajs:  make([][]*tensor.Matrix, srv.ranks),
+		inputs:  inputs,
+		steps:   steps,
+		timeout: d,
+		outs:    make([]*tensor.Matrix, srv.ranks),
+		trajs:   make([][]*tensor.Matrix, srv.ranks),
+		errs:    make([]error, srv.ranks),
+		pending: srv.ranks,
+		done:    make(chan struct{}),
 	}
-	req.wg.Add(srv.ranks)
 
+	// Fan out under the lock: every rank sees every accepted request, in
+	// the same order — the collective serialization the evaluation needs.
+	// The channels are unbuffered, so a second submitter blocks here (on
+	// the lock or the busy ranks) until the previous request is picked
+	// up; the fatal latch unblocks the fan-out if a rank dies under it.
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
 	if srv.closed {
-		return nil, fmt.Errorf("meshgnn: server is closed")
+		err := srv.err
+		srv.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("meshgnn: server is closed")
+		}
+		return nil, err
 	}
 	for i := range srv.reqs {
 		select {
 		case srv.reqs[i] <- req:
-		case err := <-srv.runErr:
-			// A rank failed during setup or serving: surface its error on
-			// every subsequent call instead of blocking forever.
-			srv.closed = true
-			if err == nil {
-				err = fmt.Errorf("meshgnn: serving ranks exited")
-			}
-			srv.err = err
-			return nil, srv.err
+		case <-srv.fatal:
+			srv.mu.Unlock()
+			// Ranks that already took the request fail it or finish it;
+			// nobody waits on it, so the partial fan-out is harmless.
+			return nil, srv.terminalError()
 		}
 	}
-	req.wg.Wait()
+	srv.mu.Unlock()
+
+	// Wait off the lock so Close and the fatal path stay reachable.
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-req.done:
+		case <-timer.C:
+			return nil, fmt.Errorf("meshgnn: request %w after %v", comm.ErrTimeout, d)
+		}
+	} else {
+		<-req.done
+	}
+	if err := rootCause(req.errs); err != nil {
+		return nil, fmt.Errorf("meshgnn: request failed: %w", err)
+	}
 	return req, nil
 }
 
+// terminalError names the server's fatal state, preferring a root cause
+// over secondary timeouts.
+func (srv *Server) terminalError() error {
+	srv.mu.Lock()
+	cause := rootCause(srv.fatalCause)
+	srv.mu.Unlock()
+	if cause == nil {
+		cause = fmt.Errorf("meshgnn: serving ranks exited")
+	}
+	return fmt.Errorf("meshgnn: server failed: %w", cause)
+}
+
+// rootCause picks the most informative error from a set of concurrent
+// rank failures: the first (by order) error that is not a secondary
+// ErrTimeout — when one rank dies, its peers time out waiting on it, and
+// those timeouts point at the symptom, not the cause. All-timeout (or
+// all-nil) sets fall back to the first non-nil entry.
+func rootCause(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, comm.ErrTimeout) {
+			return err
+		}
+	}
+	return first
+}
+
 // Close shuts the serving ranks down and returns their collective error
-// (nil for a clean shutdown). Close is idempotent.
+// (nil for a clean shutdown). A request in flight is drained first — its
+// ranks finish or fail it before they exit, so its submitter always gets
+// an answer. Close is idempotent and safe to race with submitters: it
+// returns the same terminal error to every caller.
 func (srv *Server) Close() error {
 	srv.mu.Lock()
+	if !srv.closed {
+		srv.closed = true
+		// No submitter can be mid-fan-out here (fan-out holds the lock),
+		// so closing the channels cannot race a send. Ranks drain any
+		// picked-up request, then see the close and exit.
+		for _, ch := range srv.reqs {
+			close(ch)
+		}
+	}
+	srv.mu.Unlock()
+
+	<-srv.done
+
+	srv.mu.Lock()
 	defer srv.mu.Unlock()
-	if srv.closed {
-		return srv.err
+	if srv.err == nil {
+		// Prefer the recorded root cause over RunOn's rank-ordered first
+		// error: when one rank dies, lower-numbered peers usually exit
+		// first with secondary timeouts.
+		if cause := rootCause(srv.fatalCause); cause != nil {
+			srv.err = fmt.Errorf("meshgnn: server failed: %w", cause)
+		} else {
+			srv.err = srv.runErr
+		}
 	}
-	srv.closed = true
-	for _, ch := range srv.reqs {
-		close(ch)
-	}
-	srv.err = <-srv.runErr
 	return srv.err
 }
 

@@ -1,8 +1,10 @@
 package meshgnn
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // serveSystem builds a small 2-rank system plus per-rank snapshots.
@@ -151,6 +153,107 @@ func TestServeRequestValidation(t *testing.T) {
 
 	if _, err := sys.Serve(Processes, NeighborAllToAll, model); err == nil {
 		t.Error("Serve over Processes accepted (requests cannot cross the process boundary)")
+	}
+}
+
+// calibrateServeSetupOps measures how many transport operations rank 0
+// performs during serving setup (handshake, graph split, engine compile)
+// by wrapping a throwaway server's endpoints in fault transports and
+// closing it before any request. Setup is deterministic, so the count
+// carries over to fresh servers built the same way and lets tests aim
+// fault events at "the first operation of the first request".
+func calibrateServeSetupOps(t *testing.T) int {
+	t.Helper()
+	sys, model, _ := serveSystem(t)
+	fts := make([]*FaultTransport, sys.Ranks)
+	srv, err := sys.ServeWith(InProcess, NeighborAllToAll, model, ServeOptions{
+		WrapTransport: func(tr Transport) Transport {
+			ft := NewFaultTransport(tr, nil)
+			fts[ft.Rank()] = ft
+			return ft
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("calibration close: %v", err)
+	}
+	return fts[0].Ops()
+}
+
+// TestServeCloseDrainsInFlight pins the drain guarantee: Close issued
+// while a request is mid-collective lets the request finish and succeed
+// instead of racing the worker goroutines to the channels.
+func TestServeCloseDrainsInFlight(t *testing.T) {
+	setupOps := calibrateServeSetupOps(t)
+	sys, model, inputs := serveSystem(t)
+	// Stall rank 0 for 100ms on the first operation of the first request
+	// so Close provably arrives while the request is in flight.
+	plan := NewFaultPlan().Add(0, FaultEvent{
+		AfterOps: setupOps, Kind: FaultDelay, Peer: -1, Delay: 100 * time.Millisecond,
+	})
+	srv, err := sys.ServeWith(InProcess, NeighborAllToAll, model, ServeOptions{
+		WrapTransport: plan.Wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		outs []*Matrix
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		outs, err := srv.Predict(inputs)
+		done <- result{outs, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // request dispatched, rank 0 inside the stall
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close with in-flight request: %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight request was not drained: %v", res.err)
+	}
+	if len(res.outs) != sys.Ranks {
+		t.Fatalf("drained request returned %d outputs for %d ranks", len(res.outs), sys.Ranks)
+	}
+}
+
+// TestServePredictTimeoutStalledRank pins the unwind path for a stuck
+// collective: a deliberately stalled rank makes its peer's receive
+// deadline fire, the caller gets ErrTimeout within its own bound rather
+// than hanging, and the server reports the poisoned collective as a
+// terminal classified error on later requests and on Close.
+func TestServePredictTimeoutStalledRank(t *testing.T) {
+	setupOps := calibrateServeSetupOps(t)
+	sys, model, inputs := serveSystem(t)
+	plan := NewFaultPlan().Add(0, FaultEvent{
+		AfterOps: setupOps, Kind: FaultDelay, Peer: -1, Delay: 600 * time.Millisecond,
+	})
+	srv, err := sys.ServeWith(InProcess, NeighborAllToAll, model, ServeOptions{
+		RecvTimeout:   200 * time.Millisecond,
+		WrapTransport: plan.Wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = srv.PredictTimeout(inputs, 250*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stalled collective: want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("PredictTimeout unwound in %v, want ≈250ms", elapsed)
+	}
+	if _, err := srv.Predict(inputs); err == nil {
+		t.Fatal("Predict after a poisoned collective succeeded")
+	}
+	if err := srv.Close(); err == nil {
+		t.Fatal("Close after a poisoned collective reported success")
+	} else if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Close error not classified: %v", err)
 	}
 }
 
