@@ -7,9 +7,11 @@
 // exposed — not hidden behind compute — communication time), measures the
 // inference serving tier (training forward vs engine step, request
 // latency profile, single- and multi-rank, float64 and the float32
-// serving twin), and writes a machine-readable JSON report
-// (BENCH_PR6.json by default) so the performance trajectory is tracked
-// across PRs.
+// serving twin), measures the batched serving tier (block-diagonal
+// PredictBatch through the Server coalescer: throughput vs batch size
+// against sequential Predicts on a latency-bound many-rank socket
+// fabric), and writes a machine-readable JSON report (BENCH_PR8.json by
+// default) so the performance trajectory is tracked across PRs.
 //
 // Requested sweep thread counts beyond runtime.NumCPU() are clamped (and
 // the clamp printed): oversubscribed workers only time-slice against each
@@ -20,7 +22,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # full shapes, BENCH_PR6.json
+//	go run ./cmd/bench                 # full shapes, BENCH_PR8.json
 //	go run ./cmd/bench -quick          # CI-sized shapes, 1 iteration
 //	go run ./cmd/bench -oversubscribe  # sweep past NumCPU anyway
 //	go run ./cmd/bench -baseline <ns>  # also report speedup vs a recorded
@@ -42,6 +44,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -94,7 +97,25 @@ type OverlapPoint struct {
 	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
-// Report is the schema of the bench report (BENCH_PR6.json).
+// BatchedServingPoint is one batched-serving measurement: B coalesced
+// requests fused into one block-diagonal collective evaluation through
+// the Server admission queue, against the same server serving the same
+// requests one at a time. Results are bitwise-identical either way, so
+// the amortization column is a pure scheduling/communication win.
+type BatchedServingPoint struct {
+	Ranks            int     `json:"ranks"`
+	Mode             string  `json:"mode"`
+	Batch            int     `json:"batch"`
+	Rounds           int     `json:"rounds"`
+	NsPerReq         float64 `json:"ns_per_req"`
+	ThroughputReqSec float64 `json:"throughput_req_per_sec"`
+	// AmortizationVsB1 is NsPerReq(B=1) / NsPerReq(B): how much cheaper a
+	// request gets by riding a fused batch. The B=8 entry carries the
+	// ratcheted floor.
+	AmortizationVsB1 float64 `json:"amortization_vs_b1"`
+}
+
+// Report is the schema of the bench report (BENCH_PR8.json).
 type Report struct {
 	GeneratedBy string `json:"generated_by"`
 	Quick       bool   `json:"quick"`
@@ -116,6 +137,12 @@ type Report struct {
 	// throughput and the latency profile.
 	Inference []experiments.ServingPoint `json:"inference"`
 
+	// BatchedServing holds the block-diagonal batching tier: request cost
+	// vs batch size through the Server coalescer on a many-rank socket
+	// fabric, where the batch-invariant halo message count and the single
+	// fused dispatch amortize the per-request overhead.
+	BatchedServing []BatchedServingPoint `json:"batched_serving"`
+
 	// SteadyStateAllocs maps each hot kernel to its AllocsPerRun count
 	// after warm-up (threads=1). The zero-allocation contract requires
 	// every entry to be 0.
@@ -130,7 +157,7 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized shapes and a single timed iteration per benchmark")
-	out := flag.String("o", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR8.json", "output JSON path")
 	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
 	oversub := flag.Bool("oversubscribe", false, "lift the NumCPU clamp on the thread sweep")
 	baseline := flag.Float64("baseline", 0, "pre-optimization train-step ns/op to compute the speedup against")
@@ -182,6 +209,9 @@ func main() {
 	meshgnn.SetParallelism(0, true)
 
 	measureInference(rep, *quick)
+	meshgnn.SetParallelism(0, true)
+
+	measureBatchedServing(rep, *quick)
 	meshgnn.SetParallelism(0, true)
 
 	checkSteadyStateAllocs(rep, *quick)
@@ -499,6 +529,105 @@ func measureInference(rep *Report, quick bool) {
 				pt.ParityDiffBits)
 			os.Exit(1)
 		}
+	}
+}
+
+// measureBatchedServing records the block-diagonal batching tier: B
+// concurrent Predict requests coalesced by the Server's admission queue
+// into one fused collective evaluation, against the same fabric serving
+// the same request stream one at a time. The shape is deliberately
+// latency-bound — many ranks over the socket transport with a tiny
+// per-rank graph — because that is the regime batching exists for: the
+// halo message count is batch-invariant, so a fused batch pays one
+// exchange round where B sequential requests pay B. Per-sample results
+// are bitwise-identical either way (the engine's batched-parity sweep
+// asserts it), so throughput is the only axis.
+func measureBatchedServing(rep *Report, quick bool) {
+	meshgnn.SetParallelism(1, true)
+	const ranks, elems, p = 8, 2, 1
+	reqsPerRep, reps := 96, 3
+	if quick {
+		reqsPerRep, reps = 32, 2
+	}
+	m, err := meshgnn.NewMesh(ranks*elems, elems, elems, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, ranks, meshgnn.Slabs)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+	if err != nil {
+		fatal(err)
+	}
+	f := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	inputs := make([]*meshgnn.Matrix, sys.Ranks)
+	for r := range inputs {
+		inputs[r] = meshgnn.SampleField(f, sys.Locals[r], 0.25)
+	}
+	fmt.Printf("bench: batched serving tier (R=%d sockets, %d nodes/rank, best of %d reps):\n",
+		ranks, inputs[0].Rows, reps)
+	var baseNs float64
+	for _, batch := range []int{1, 2, 4, 8} {
+		srv, err := sys.ServeWith(meshgnn.Sockets, meshgnn.NeighborAllToAll, model, meshgnn.ServeOptions{
+			MaxBatch:    batch,
+			BatchWindow: 100 * time.Millisecond,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		var mu sync.Mutex
+		var reqErr error
+		burst := func() {
+			var wg sync.WaitGroup
+			for b := 0; b < batch; b++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := srv.Predict(inputs); err != nil {
+						mu.Lock()
+						if reqErr == nil {
+							reqErr = err
+						}
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		bursts := reqsPerRep / batch
+		burst() // bind the engines (per-batch arena recording)
+		burst() // settle the double-buffers and warm the pools
+		best := 0.0
+		for rp := 0; rp < reps; rp++ {
+			start := time.Now()
+			for i := 0; i < bursts; i++ {
+				burst()
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(bursts*batch)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		if cerr := srv.Close(); reqErr == nil && cerr != nil {
+			reqErr = cerr
+		}
+		if reqErr != nil {
+			fatal(reqErr)
+		}
+		if batch == 1 {
+			baseNs = best
+		}
+		pt := BatchedServingPoint{
+			Ranks: ranks, Mode: "na2a", Batch: batch, Rounds: bursts * reps,
+			NsPerReq:         best,
+			ThroughputReqSec: 1e9 / best,
+			AmortizationVsB1: baseNs / best,
+		}
+		rep.BatchedServing = append(rep.BatchedServing, pt)
+		fmt.Printf("  B=%d  %12.0f ns/req  %10.1f req/s  amortization %.2fx\n",
+			batch, pt.NsPerReq, pt.ThroughputReqSec, pt.AmortizationVsB1)
 	}
 }
 

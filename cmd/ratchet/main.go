@@ -10,13 +10,18 @@
 //     only gross regressions are meaningful), and
 //   - infer_step_f32, when present in the new report, must beat the new
 //     report's own float64 infer_step by at least -f32-ratio (the
-//     single-precision serving twin must pay for itself).
+//     single-precision serving twin must pay for itself), and
+//   - the batched serving tier, when present in the new report, must
+//     amortize: the B=8 coalesced-batch entry's amortization_vs_b1 must
+//     reach -batch-amort (default 1.5x; pass 0 to skip, e.g. when gating
+//     a fresh run whose absolute serving latencies are too noisy for a
+//     strict floor).
 //
 // Per kernel the best (minimum) ns/op across the thread sweep is
 // compared, so reports swept at different thread counts remain
 // comparable. CI runs it over the committed reports:
 //
-//	go run ./cmd/ratchet -old BENCH_PR5.json -new BENCH_PR6.json
+//	go run ./cmd/ratchet -old BENCH_PR6.json -new BENCH_PR8.json
 package main
 
 import (
@@ -32,6 +37,10 @@ type report struct {
 		Threads int     `json:"threads"`
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"benches"`
+	BatchedServing []struct {
+		Batch            int     `json:"batch"`
+		AmortizationVsB1 float64 `json:"amortization_vs_b1"`
+	} `json:"batched_serving"`
 }
 
 // best returns the minimum ns/op recorded for the named benchmark across
@@ -62,11 +71,12 @@ func load(path string) (*report, error) {
 }
 
 func main() {
-	oldPath := flag.String("old", "BENCH_PR5.json", "baseline bench report")
-	newPath := flag.String("new", "BENCH_PR6.json", "candidate bench report")
+	oldPath := flag.String("old", "BENCH_PR6.json", "baseline bench report")
+	newPath := flag.String("new", "BENCH_PR8.json", "candidate bench report")
 	matmulRatio := flag.Float64("matmul-ratio", 1.3, "required old/new speedup on mat_mul")
 	inferRatio := flag.Float64("infer-ratio", 1.0, "required old/new speedup on infer_step (below 1.0 tolerates cross-hardware noise)")
 	f32Ratio := flag.Float64("f32-ratio", 1.2, "required infer_step/infer_step_f32 speedup within the new report")
+	batchAmort := flag.Float64("batch-amort", 1.5, "required B=8 batched-serving amortization in the new report (0 skips)")
 	flag.Parse()
 
 	oldRep, err := load(*oldPath)
@@ -107,6 +117,20 @@ func main() {
 		check("infer_step f64/f32", f64/f32, *f32Ratio)
 	} else {
 		fmt.Println("  (no infer_step_f32 in the new report; f32 ratchet skipped)")
+	}
+	if *batchAmort > 0 {
+		amort := 0.0
+		for _, p := range newRep.BatchedServing {
+			if p.Batch == 8 {
+				amort = p.AmortizationVsB1
+			}
+		}
+		if amort == 0 {
+			fail("no B=8 batched_serving entry in the new report (pass -batch-amort 0 to skip)")
+		}
+		check("batched serving B=8 amort", amort, *batchAmort)
+	} else {
+		fmt.Println("  (batched-serving amortization ratchet skipped)")
 	}
 
 	if !ok {

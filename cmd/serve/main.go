@@ -11,12 +11,16 @@
 // The facade request API (System.Serve / Server.Predict / Rollout) is
 // exercised with a short request burst on the in-process fabric, so the
 // command also smoke-tests the path a solver embedding the surrogate
-// would call.
+// would call. With -batch B > 1 the burst is additionally replayed as B
+// concurrent requests through a coalescing server (ServeOptions.MaxBatch)
+// so one fused block-diagonal evaluation serves the whole cohort; the
+// batched answers are checked bitwise against the sequential ones.
 //
 // Usage:
 //
 //	serve [-elems 6] [-p 2] [-ranks 2 | -procs 2] [-mode na2a] [-model small]
-//	      [-requests 50] [-rollout 10] [-overlap] [-f32] [-threads N] [-o point.json]
+//	      [-requests 50] [-rollout 10] [-batch 4] [-overlap] [-f32] [-threads N]
+//	      [-o point.json]
 //
 // With -f32 the engine is the single-precision serving twin: the bitwise
 // parity check is replaced by a relative-error gate against the float64
@@ -30,7 +34,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"sync"
+	"time"
 
 	"meshgnn"
 	"meshgnn/internal/comm"
@@ -53,6 +60,7 @@ func main() {
 		model    = flag.String("model", "small", "model configuration: small or large")
 		requests = flag.Int("requests", 50, "timed inference requests")
 		rollout  = flag.Int("rollout", 10, "steps of the timed autoregressive rollout (0 = skip)")
+		batch    = flag.Int("batch", 1, "also serve this many concurrent requests through a coalescing batched server (1 = skip)")
 		overlap  = flag.Bool("overlap", false, "overlapped halo pipeline in the forward path (bitwise-identical)")
 		f32      = flag.Bool("f32", false, "serve the float32 engine twin (tolerance-gated vs the float64 oracle)")
 		threads  = flag.Int("threads", 0, "intra-rank worker threads per kernel (0 = GOMAXPROCS, 1 = serial)")
@@ -174,7 +182,7 @@ func main() {
 	}
 
 	if !useProcs {
-		if err := serveAPIDemo(box, nRanks, mode, cfg); err != nil {
+		if err := serveAPIDemo(box, nRanks, mode, cfg, *batch); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -193,7 +201,10 @@ func main() {
 
 // serveAPIDemo drives the facade request API: a persistent Server over
 // the partitioned system, a burst of Predict requests, and one rollout.
-func serveAPIDemo(box *mesh.Box, ranks int, mode meshgnn.ExchangeMode, cfg meshgnn.Config) error {
+// When batch > 1 the same inputs are replayed as batch concurrent
+// requests through a coalescing server and checked bitwise against the
+// sequential answers.
+func serveAPIDemo(box *mesh.Box, ranks int, mode meshgnn.ExchangeMode, cfg meshgnn.Config, batch int) error {
 	sys, err := meshgnn.NewSystem(box, ranks, meshgnn.AutoStrategy)
 	if err != nil {
 		return err
@@ -214,6 +225,7 @@ func serveAPIDemo(box *mesh.Box, ranks int, mode meshgnn.ExchangeMode, cfg meshg
 		inputs[r] = field.Sample(f, sys.Locals[r], 0.25)
 	}
 	const burst = 3
+	var seq []*meshgnn.Matrix
 	for i := 0; i < burst; i++ {
 		outs, err := srv.Predict(inputs)
 		if err != nil {
@@ -222,6 +234,7 @@ func serveAPIDemo(box *mesh.Box, ranks int, mode meshgnn.ExchangeMode, cfg meshg
 		if len(outs) != ranks {
 			return fmt.Errorf("request API returned %d outputs for %d ranks", len(outs), ranks)
 		}
+		seq = outs
 	}
 	trajs, err := srv.Rollout(inputs, 3)
 	if err != nil {
@@ -229,7 +242,66 @@ func serveAPIDemo(box *mesh.Box, ranks int, mode meshgnn.ExchangeMode, cfg meshg
 	}
 	fmt.Printf("\nrequest API (System.Serve): %d predict requests + one %d-step rollout served on %d ranks\n",
 		burst, len(trajs[0])-1, ranks)
+
+	if batch > 1 {
+		if err := servedBatchedDemo(sys, mode, mdl, inputs, seq, batch); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// servedBatchedDemo serves `batch` concurrent copies of the same request
+// through a coalescing server so the dispatcher fuses them into one
+// block-diagonal evaluation, then verifies every member's answer is
+// bitwise-equal to the sequential server's.
+func servedBatchedDemo(sys *meshgnn.System, mode meshgnn.ExchangeMode, mdl *meshgnn.Model,
+	inputs, want []*meshgnn.Matrix, batch int) error {
+	srv, err := sys.ServeWith(meshgnn.InProcess, mode, mdl, meshgnn.ServeOptions{
+		MaxBatch:    batch,
+		BatchWindow: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	outs := make([][]*meshgnn.Matrix, batch)
+	errs := make([]error, batch)
+	var wg sync.WaitGroup
+	for i := 0; i < batch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = srv.Predict(inputs)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < batch; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("batched request %d: %w", i, errs[i])
+		}
+		for r := range want {
+			if !bitwiseEqual(outs[i][r], want[r]) {
+				return fmt.Errorf("batched request %d rank %d diverged bitwise from the sequential server", i, r)
+			}
+		}
+	}
+	fmt.Printf("batched request API (ServeOptions.MaxBatch=%d): %d concurrent requests coalesced, all bitwise-equal to sequential serving\n",
+		batch, batch)
+	return nil
+}
+
+func bitwiseEqual(a, b *meshgnn.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func parseMode(s string) (meshgnn.ExchangeMode, error) {

@@ -154,10 +154,14 @@ type Exchanger struct {
 	nbOf     []int
 	// pendDst and pendAdjoint carry the scatter target between Start and
 	// Finish; inflight guards against mismatched Start/Finish pairs.
-	pendDst     *tensor.Matrix
-	pendAdjoint bool
-	pendCols    int
-	inflight    bool
+	// pendBatch/pendDstStride carry the row-block batching of the
+	// in-flight exchange (1/0 for the unbatched paths).
+	pendDst       *tensor.Matrix
+	pendAdjoint   bool
+	pendCols      int
+	pendBatch     int
+	pendDstStride int
+	inflight      bool
 }
 
 // NewExchanger validates the plan for the mode. AllToAllMode requires
@@ -203,7 +207,33 @@ func (e *Exchanger) Adjoint(c *Comm, haloGrad, srcGrad *tensor.Matrix) {
 // the contract keeps future transports free to defer the copy. halo must
 // stay untouched until FinishForward scatters into it.
 func (e *Exchanger) StartForward(c *Comm, src, halo *tensor.Matrix) {
-	e.start(c, src, halo, false)
+	e.start(c, src, halo, false, 1)
+}
+
+// ForwardBatched exchanges batch vertically stacked samples in one round
+// of messages: src is batch row-blocks of local rows (batch·N_local rows)
+// and halo batch row-blocks of halo rows (batch·N_halo). Each neighbor
+// receives a single frame carrying all batch samples' shared rows packed
+// sample-major, so the message count — and hence the latency cost — is
+// batch-invariant; only the frame widths grow. Sample b of src fills
+// sample b of halo exactly as batch separate Forward calls would, bit for
+// bit. batch == 1 is identical to Forward.
+func (e *Exchanger) ForwardBatched(c *Comm, src, halo *tensor.Matrix, batch int) {
+	e.StartForwardBatched(c, src, halo, batch)
+	e.FinishForward(c)
+}
+
+// StartForwardBatched posts the batched forward exchange (see
+// ForwardBatched); FinishForward completes it.
+func (e *Exchanger) StartForwardBatched(c *Comm, src, halo *tensor.Matrix, batch int) {
+	if batch < 1 {
+		panic(fmt.Sprintf("comm: batched exchange with batch %d", batch))
+	}
+	if src.Rows%batch != 0 || halo.Rows%batch != 0 {
+		panic(fmt.Sprintf("comm: batched exchange rows %d/%d not divisible by batch %d",
+			src.Rows, halo.Rows, batch))
+	}
+	e.start(c, src, halo, false, batch)
 }
 
 // FinishForward waits for the posted receives (ascending neighbor order)
@@ -216,7 +246,7 @@ func (e *Exchanger) FinishForward(c *Comm) { e.finish(c) }
 // aggregates produced them. srcGrad's shared rows must not be read as
 // final until FinishAdjoint has accumulated the incoming contributions.
 func (e *Exchanger) StartAdjoint(c *Comm, haloGrad, srcGrad *tensor.Matrix) {
-	e.start(c, haloGrad, srcGrad, true)
+	e.start(c, haloGrad, srcGrad, true, 1)
 }
 
 // FinishAdjoint waits for the posted receives and scatter-adds them into
@@ -225,35 +255,49 @@ func (e *Exchanger) StartAdjoint(c *Comm, haloGrad, srcGrad *tensor.Matrix) {
 // no output bit.
 func (e *Exchanger) FinishAdjoint(c *Comm) { e.finish(c) }
 
-// pack gathers the rows of a listed in idx into the k-th staging buffer.
-func (e *Exchanger) pack(k int, a *tensor.Matrix, idx []int, cols int) []float64 {
-	need := len(idx) * cols
+// pack gathers the rows of a listed in idx into the k-th staging buffer,
+// sample-major: all of sample 0's rows, then sample 1's, each sample
+// offset by stride rows in a.
+func (e *Exchanger) pack(k int, a *tensor.Matrix, idx []int, cols, batch, stride int) []float64 {
+	need := batch * len(idx) * cols
 	if cap(e.packBuf[k]) < need {
 		e.packBuf[k] = make([]float64, need)
 	}
 	buf := e.packBuf[k][:need]
-	for row, i := range idx {
-		copy(buf[row*cols:(row+1)*cols], a.Row(i))
+	pos := 0
+	for b := 0; b < batch; b++ {
+		off := b * stride
+		for _, i := range idx {
+			copy(buf[pos:pos+cols], a.Row(off+i))
+			pos += cols
+		}
 	}
 	return buf
 }
 
 // unpack scatters one received buffer into the pending target matrix:
-// copy in the forward direction, accumulate in the adjoint.
+// copy in the forward direction, accumulate in the adjoint. Batched
+// frames unpack sample-major, sample b landing at row offset
+// b·pendDstStride.
 func (e *Exchanger) unpack(buf []float64, idx []int) {
 	cols := e.pendCols
-	if len(buf) < len(idx)*cols {
-		panic(fmt.Sprintf("comm: short halo buffer %d < %d", len(buf), len(idx)*cols))
+	if len(buf) < e.pendBatch*len(idx)*cols {
+		panic(fmt.Sprintf("comm: short halo buffer %d < %d", len(buf), e.pendBatch*len(idx)*cols))
 	}
-	for row, i := range idx {
-		seg := buf[row*cols : (row+1)*cols]
-		dst := e.pendDst.Row(i)
-		if e.pendAdjoint {
-			for j, v := range seg {
-				dst[j] += v
+	pos := 0
+	for b := 0; b < e.pendBatch; b++ {
+		off := b * e.pendDstStride
+		for _, i := range idx {
+			seg := buf[pos : pos+cols]
+			pos += cols
+			dst := e.pendDst.Row(off + i)
+			if e.pendAdjoint {
+				for j, v := range seg {
+					dst[j] += v
+				}
+			} else {
+				copy(dst, seg)
 			}
-		} else {
-			copy(dst, seg)
 		}
 	}
 }
@@ -261,8 +305,10 @@ func (e *Exchanger) unpack(buf []float64, idx []int) {
 // start implements both directions. In the forward direction we gather
 // SendIdx rows from a and (at Finish) write received buffers into b at
 // RecvIdx rows. In the adjoint direction we gather RecvIdx rows from a
-// and scatter-add received buffers into b at SendIdx rows.
-func (e *Exchanger) start(c *Comm, a, b *tensor.Matrix, adjoint bool) {
+// and scatter-add received buffers into b at SendIdx rows. batch > 1
+// treats a and b as stacks of batch equal row-blocks and moves every
+// sample's shared rows in the same messages.
+func (e *Exchanger) start(c *Comm, a, b *tensor.Matrix, adjoint bool, batch int) {
 	if e.inflight {
 		panic("comm: halo exchange already in flight (missing Finish)")
 	}
@@ -278,6 +324,9 @@ func (e *Exchanger) start(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 		panic(fmt.Sprintf("comm: exchange column mismatch %d vs %d", a.Cols, b.Cols))
 	}
 	e.pendCols = cols
+	e.pendBatch = batch
+	e.pendDstStride = b.Rows / batch
+	srcStride := a.Rows / batch
 	c.Stats.HaloExchanges++
 	start := time.Now()
 	defer func() { c.Stats.HaloSeconds += time.Since(start).Seconds() }()
@@ -306,7 +355,7 @@ func (e *Exchanger) start(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 		}
 		e.sizeReqs(len(plan.Neighbors))
 		for k, nb := range plan.Neighbors {
-			e.sendReqs[k] = c.Isend(nb, tag, e.pack(k, a, gatherIdx[k], cols))
+			e.sendReqs[k] = c.Isend(nb, tag, e.pack(k, a, gatherIdx[k], cols, batch, srcStride))
 		}
 		for k, nb := range plan.Neighbors {
 			e.recvReqs[k] = c.Irecv(nb, tag)
@@ -321,7 +370,7 @@ func (e *Exchanger) start(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 		// plan, so overwriting the payload prefix leaves the zero
 		// padding intact.
 		c.Stats.AllToAlls++
-		width := plan.MaxSendCount * cols
+		width := batch * plan.MaxSendCount * cols
 		size := c.Size()
 		if e.uniformBuf == nil || len(e.uniformBuf) != size || e.uniformWidth != width {
 			e.uniformBuf = make([][]float64, size)
@@ -343,7 +392,7 @@ func (e *Exchanger) start(c *Comm, a, b *tensor.Matrix, adjoint bool) {
 			}
 		}
 		for k, nb := range plan.Neighbors {
-			copy(e.uniformBuf[nb], e.pack(k, a, gatherIdx[k], cols))
+			copy(e.uniformBuf[nb], e.pack(k, a, gatherIdx[k], cols, batch, srcStride))
 		}
 		e.sizeReqs(size)
 		for dst := 0; dst < size; dst++ {

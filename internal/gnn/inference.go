@@ -63,6 +63,10 @@ type Inference struct {
 	lastGraph *graph.Local
 	lastRows  int
 	lastCols  int
+
+	// batch is the block-diagonal batched serving state (see batch.go),
+	// created on the first PredictBatch.
+	batch *inferBatch
 }
 
 // inferProcessor is the forward-only counterpart of ProcessorLayer.
@@ -141,6 +145,10 @@ func (e *Inference) Refresh() {
 	e.staticHe = nil
 	if e.f32 != nil {
 		e.f32.staticHe32 = nil
+	}
+	if e.batch != nil {
+		e.batch.lastGraph = nil
+		e.batch.staticHeB = nil
 	}
 }
 

@@ -80,6 +80,45 @@ func (v View) Row(i int) []float64 {
 	return v.data[base : base+v.Cols]
 }
 
+// SliceRows points dst at rows [r0, r1) of m: dst's header is rewritten
+// to alias the row block's storage (row-major rows are contiguous, so a
+// row block is a plain sub-slice — no copy, no allocation). Writing
+// through dst writes m. Reusing one persistent header across calls keeps
+// row-block iteration allocation-free; the batched inference engine
+// addresses per-sample blocks of its stacked matrices this way.
+func (m *Matrix) SliceRows(dst *Matrix, r0, r1 int) {
+	if r0 < 0 || r1 < r0 || r1 > m.Rows {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) outside 0..%d", r0, r1, m.Rows))
+	}
+	dst.Rows = r1 - r0
+	dst.Cols = m.Cols
+	dst.Data = m.Data[r0*m.Cols : r1*m.Cols : r1*m.Cols]
+}
+
+// RowBlock returns a fresh header aliasing rows [r0, r1) of m (SliceRows
+// into a new Matrix). The block shares m's storage.
+func (m *Matrix) RowBlock(r0, r1 int) *Matrix {
+	out := &Matrix{}
+	m.SliceRows(out, r0, r1)
+	return out
+}
+
+// TileRowsInto writes reps vertically stacked copies of src into dst:
+// dst must be (reps·src.Rows)×src.Cols. Each copy is bit-exact, so a
+// tiled per-sample constant (e.g. the static-edge encoding shared by
+// every sample of a batch) is indistinguishable from reps independent
+// evaluations.
+func TileRowsInto(dst, src *Matrix, reps int) {
+	if dst.Rows != reps*src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: TileRowsInto %dx%d into %dx%d (reps=%d)",
+			src.Rows, src.Cols, dst.Rows, dst.Cols, reps))
+	}
+	n := len(src.Data)
+	for b := 0; b < reps; b++ {
+		copy(dst.Data[b*n:(b+1)*n], src.Data)
+	}
+}
+
 // CopyFrom copies src into m; dimensions must match.
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {

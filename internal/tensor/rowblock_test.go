@@ -1,0 +1,80 @@
+package tensor
+
+import "testing"
+
+func TestSliceRowsAliases(t *testing.T) {
+	m := New(6, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	var blk Matrix
+	m.SliceRows(&blk, 2, 5)
+	if blk.Rows != 3 || blk.Cols != 3 {
+		t.Fatalf("block is %dx%d, want 3x3", blk.Rows, blk.Cols)
+	}
+	if blk.At(0, 0) != m.At(2, 0) || blk.At(2, 2) != m.At(4, 2) {
+		t.Fatalf("block does not window rows [2,5)")
+	}
+	blk.Set(1, 1, -7)
+	if m.At(3, 1) != -7 {
+		t.Fatal("write through the block did not reach the parent")
+	}
+	if got := m.RowBlock(0, 2); got.Rows != 2 || &got.Data[0] != &m.Data[0] {
+		t.Fatal("RowBlock does not alias the parent storage")
+	}
+	// The capped sub-slice must not allow appends to scribble past r1.
+	if cap(blk.Data) != len(blk.Data) {
+		t.Fatalf("block capacity %d exceeds its length %d", cap(blk.Data), len(blk.Data))
+	}
+}
+
+func TestSliceRowsZeroAlloc(t *testing.T) {
+	m := New(8, 4)
+	var blk Matrix
+	allocs := testing.AllocsPerRun(100, func() {
+		m.SliceRows(&blk, 2, 6)
+		blk.Data[0] = 1
+	})
+	if allocs != 0 {
+		t.Fatalf("SliceRows into a reused header allocates %v times", allocs)
+	}
+}
+
+func TestSliceRowsBounds(t *testing.T) {
+	m := New(4, 2)
+	for _, bad := range [][2]int{{-1, 2}, {3, 2}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SliceRows(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			var blk Matrix
+			m.SliceRows(&blk, bad[0], bad[1])
+		}()
+	}
+}
+
+func TestTileRowsInto(t *testing.T) {
+	src := New(2, 3)
+	for i := range src.Data {
+		src.Data[i] = float64(i + 1)
+	}
+	dst := New(6, 3)
+	TileRowsInto(dst, src, 3)
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				if dst.At(b*2+i, j) != src.At(i, j) {
+					t.Fatalf("tile %d row %d col %d: %v != %v", b, i, j, dst.At(b*2+i, j), src.At(i, j))
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TileRowsInto shape mismatch did not panic")
+		}
+	}()
+	TileRowsInto(dst, src, 2)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package meshgnn
+
+const raceEnabled = false

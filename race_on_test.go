@@ -1,0 +1,8 @@
+//go:build race
+
+package meshgnn
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so the allocation-budget assertions are
+// skipped under -race (the semantics they guard are covered elsewhere).
+const raceEnabled = true

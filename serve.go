@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"meshgnn/internal/comm"
@@ -19,9 +20,15 @@ import (
 // request, so the steady-state request path performs the same
 // zero-allocation fused forward the engine gates assert.
 //
-// A Server is safe for concurrent use; requests are serialized (the
-// underlying evaluation is collective across all ranks, so two requests
-// cannot usefully interleave on one system).
+// A Server is safe for concurrent use. Requests enter a bounded admission
+// queue and a dispatcher serializes them into collective evaluations; with
+// ServeOptions.MaxBatch > 1 the dispatcher coalesces queued compatible
+// requests into one fused block-diagonal evaluation (PredictBatch), so B
+// concurrent submitters share a single GEMM sweep per layer and a single
+// halo frame per neighbor. Batching is an amortization, never a semantic:
+// each member's result is bitwise-identical to an unbatched evaluation,
+// and each member keeps its own deadline — a member abandoned by its
+// submitter is dropped from the result without poisoning cohabitants.
 //
 // Failure contract: every rank-side failure is caught per request — a
 // panicking rank recovers, records a classified error on the request, and
@@ -32,19 +39,28 @@ import (
 // first rank failure is terminal, later calls return the root-caused
 // error immediately, and Close still returns deterministically. Serving
 // ranks evaluate under a receive deadline (ServeOptions.RecvTimeout, 30s
-// default), so peers of a dead rank unwind within the deadline rather
-// than blocking forever.
+// default, scaled by the step count for rollouts), so peers of a dead
+// rank unwind within the deadline rather than blocking forever.
 type Server struct {
 	sys        *System
 	ranks      int
 	in, out    int // model input/output widths, for request validation
 	reqTimeout time.Duration
 	recvTime   time.Duration
+	maxBatch   int
+	window     time.Duration
 
-	mu     sync.Mutex
-	reqs   []chan *serveReq
-	closed bool
-	err    error // terminal error, set on Close or first fatal
+	queue     chan *serveReq // bounded admission queue, feeds the dispatcher
+	subWG     sync.WaitGroup // in-flight enqueue attempts, gates close(queue)
+	closeOnce sync.Once
+	dispDone  chan struct{} // closed when the dispatcher has exited
+	reqPool   sync.Pool     // *serveReq scaffolding, recycled across requests
+	batchPool sync.Pool     // *serveBatch scaffolding
+
+	mu      sync.Mutex
+	batches []chan *serveBatch
+	closed  bool
+	err     error // terminal error, set on Close or first fatal
 
 	fatalOnce  sync.Once
 	fatal      chan struct{} // closed on the first rank-fatal failure
@@ -53,8 +69,8 @@ type Server struct {
 	runErr     error         // RunOn's result, valid once done is closed
 }
 
-// ServeOptions tunes the failure handling of a serving world. The zero
-// value is Serve's default configuration.
+// ServeOptions tunes the request path and failure handling of a serving
+// world. The zero value is Serve's default configuration.
 type ServeOptions struct {
 	// RequestTimeout bounds every Predict/Rollout call (overridable per
 	// call with PredictTimeout/RolloutTimeout). 0 means no deadline.
@@ -62,10 +78,26 @@ type ServeOptions struct {
 	// RecvTimeout bounds every blocking receive inside the collective
 	// evaluation on each serving rank, so a rank whose peer died unwinds
 	// with an ErrTimeout-classified failure instead of hanging. 0 means
-	// the 30s default; negative disables the bound entirely. A pending
-	// request's own timeout tightens the bound for that evaluation when
-	// it is shorter.
+	// the 30s default; negative disables the bound entirely. Rollouts
+	// scale the bound by their step count — a long trajectory is not a
+	// stall. A request's own deadline never tightens this bound: the
+	// deadline limits how long the submitter waits, not how long the
+	// evaluation may run.
 	RecvTimeout time.Duration
+	// MaxBatch caps how many queued prediction requests the dispatcher
+	// fuses into one block-diagonal collective evaluation. <= 1 serves
+	// every request on its own (the default). Only requests with the
+	// same step count coalesce.
+	MaxBatch int
+	// BatchWindow is how long the dispatcher holds an admitted request
+	// open for co-travelers before dispatching a partial batch. 0 means
+	// a 200µs default when MaxBatch > 1; negative disables the window
+	// (only requests already queued coalesce).
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue; a submitter finding it full
+	// blocks (under its own deadline) until the dispatcher drains a
+	// slot. <= 0 means 2*MaxBatch.
+	QueueDepth int
 	// WrapTransport interposes on every rank's transport endpoint before
 	// serving starts — the fault-injection hook (FaultPlan.Wrap) and any
 	// future interposer. nil serves on the bare fabric.
@@ -77,6 +109,11 @@ type ServeOptions struct {
 // small against a request stream stalled on a dead peer.
 const defaultServeRecvTimeout = 30 * time.Second
 
+// defaultBatchWindow is how long a batching server waits for co-travelers
+// when ServeOptions doesn't say otherwise: long enough for concurrent
+// submitters to meet in the queue, short against request latency.
+const defaultBatchWindow = 200 * time.Microsecond
+
 func (o ServeOptions) recvTimeout() time.Duration {
 	if o.RecvTimeout == 0 {
 		return defaultServeRecvTimeout
@@ -87,25 +124,33 @@ func (o ServeOptions) recvTimeout() time.Duration {
 	return o.RecvTimeout
 }
 
-// serveReq is one collective evaluation: a per-rank snapshot in, a
-// per-rank prediction (steps == 0) or steps-application trajectory
-// (steps > 0) out. Each rank writes only its own outs/trajs/errs slot;
-// the submitter reads them after done is closed (the channel close is the
+// serveReq is one submitted request: a per-rank snapshot in, a per-rank
+// prediction (steps == 0) or steps-application trajectory (steps > 0)
+// out. Each rank writes only its own outs/trajs/errs slot; the submitter
+// reads them after done is signaled (the channel send is the
 // happens-before edge).
+//
+// Requests are pooled: the scaffolding (slices, done channel) is recycled
+// once both the submitter and the rank side have released their
+// reference. A submitter that times out releases early and walks away;
+// the ranks keep the request alive until they finish writing into it, so
+// a late result lands in an orphaned object, never in a recycled one.
 type serveReq struct {
-	inputs  []*tensor.Matrix
-	steps   int
-	timeout time.Duration // the submitter's deadline, tightens rank recv bounds
-	outs    []*tensor.Matrix
-	trajs   [][]*tensor.Matrix
-	errs    []error
+	inputs []*tensor.Matrix
+	steps  int
+	outs   []*tensor.Matrix
+	trajs  [][]*tensor.Matrix
+	errs   []error
 
 	mu      sync.Mutex
 	pending int
-	done    chan struct{}
+	done    chan struct{} // capacity 1; signaled by the last rank
+	refs    atomic.Int32  // submitter + rank side; 0 recycles
+	pool    *sync.Pool
 }
 
-// finish records one rank's outcome; the last rank closes done.
+// finish records one rank's outcome; the last rank signals done and drops
+// the rank side's reference.
 func (req *serveReq) finish(rank int, err error) {
 	req.errs[rank] = err
 	req.mu.Lock()
@@ -113,8 +158,130 @@ func (req *serveReq) finish(rank int, err error) {
 	last := req.pending == 0
 	req.mu.Unlock()
 	if last {
-		close(req.done)
+		req.done <- struct{}{}
+		req.release(1)
 	}
+}
+
+// release drops n references and recycles the request at zero.
+func (req *serveReq) release(n int32) {
+	if req.refs.Add(-n) == 0 {
+		req.pool.Put(req)
+	}
+}
+
+// getReq produces request scaffolding from the pool (or fresh), cleared
+// of any previous occupant's results so a recycled request can never leak
+// stale matrices into a new response.
+func (srv *Server) getReq() *serveReq {
+	req, _ := srv.reqPool.Get().(*serveReq)
+	if req == nil {
+		req = &serveReq{
+			inputs: make([]*tensor.Matrix, srv.ranks),
+			outs:   make([]*tensor.Matrix, srv.ranks),
+			trajs:  make([][]*tensor.Matrix, srv.ranks),
+			errs:   make([]error, srv.ranks),
+			done:   make(chan struct{}, 1),
+			pool:   &srv.reqPool,
+		}
+	}
+	// A previous occupant abandoned by its submitter left its completion
+	// signal unconsumed; drain it so this request starts unsignaled.
+	select {
+	case <-req.done:
+	default:
+	}
+	for i := 0; i < srv.ranks; i++ {
+		req.inputs[i] = nil
+		req.outs[i] = nil
+		req.trajs[i] = nil
+		req.errs[i] = nil
+	}
+	req.pending = srv.ranks
+	req.refs.Store(2)
+	return req
+}
+
+// timerPool recycles deadline timers across requests; Go 1.23+ timer
+// semantics make Stop/Reset safe without channel draining.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		return time.NewTimer(d)
+	}
+	t.Reset(d)
+	return t
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+// serveBatch is one collective evaluation: one or more coalesced requests
+// with the same step count, their per-rank inputs gathered member-major
+// for the engine's batched entry points. Each rank finishes every
+// member's slot; the last rank to complete recycles the batch.
+type serveBatch struct {
+	steps   int
+	bound   time.Duration // effective per-rank receive deadline
+	members []*serveReq
+	ins     [][]*tensor.Matrix // [rank][member]
+	pending atomic.Int32
+}
+
+func (srv *Server) getBatch(first *serveReq) *serveBatch {
+	b, _ := srv.batchPool.Get().(*serveBatch)
+	if b == nil {
+		b = &serveBatch{ins: make([][]*tensor.Matrix, srv.ranks)}
+	}
+	b.steps = first.steps
+	b.bound = srv.recvBound(first.steps)
+	b.members = b.members[:0]
+	for r := range b.ins {
+		b.ins[r] = b.ins[r][:0]
+	}
+	b.pending.Store(int32(srv.ranks))
+	b.addMember(first)
+	return b
+}
+
+func (b *serveBatch) addMember(req *serveReq) {
+	b.members = append(b.members, req)
+	for r := range b.ins {
+		b.ins[r] = append(b.ins[r], req.inputs[r])
+	}
+}
+
+func (srv *Server) putBatch(b *serveBatch) {
+	for i := range b.members {
+		b.members[i] = nil
+	}
+	b.members = b.members[:0]
+	for r := range b.ins {
+		for i := range b.ins[r] {
+			b.ins[r][i] = nil
+		}
+		b.ins[r] = b.ins[r][:0]
+	}
+	srv.batchPool.Put(b)
+}
+
+// recvBound is the effective per-rank receive deadline for an evaluation
+// of the given step count. A rollout performs steps sequential collective
+// applications, so the per-receive bound scales with the trajectory
+// length — a long rollout on a healthy fabric is not a stall and must not
+// classify as ErrTimeout.
+func (srv *Server) recvBound(steps int) time.Duration {
+	if srv.recvTime <= 0 {
+		return 0
+	}
+	if steps > 1 {
+		return srv.recvTime * time.Duration(steps)
+	}
+	return srv.recvTime
 }
 
 // Serve starts persistent serving ranks over the given transport and
@@ -144,6 +311,21 @@ func (s *System) ServeWith(kind TransportKind, mode ExchangeMode, model *Model, 
 	for i, p := range model.Params() {
 		snapshot[i] = append([]float64(nil), p.W.Data...)
 	}
+	maxBatch := opts.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	window := opts.BatchWindow
+	if window == 0 && maxBatch > 1 {
+		window = defaultBatchWindow
+	}
+	if window < 0 {
+		window = 0
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 2 * maxBatch
+	}
 	srv := &Server{
 		sys:        s,
 		ranks:      s.Ranks,
@@ -151,13 +333,18 @@ func (s *System) ServeWith(kind TransportKind, mode ExchangeMode, model *Model, 
 		out:        model.Config.OutputNodeFeatures,
 		reqTimeout: opts.RequestTimeout,
 		recvTime:   opts.recvTimeout(),
-		reqs:       make([]chan *serveReq, s.Ranks),
+		maxBatch:   maxBatch,
+		window:     window,
+		queue:      make(chan *serveReq, depth),
+		dispDone:   make(chan struct{}),
+		batches:    make([]chan *serveBatch, s.Ranks),
 		fatal:      make(chan struct{}),
 		done:       make(chan struct{}),
 	}
-	for i := range srv.reqs {
-		srv.reqs[i] = make(chan *serveReq)
+	for i := range srv.batches {
+		srv.batches[i] = make(chan *serveBatch)
 	}
+	go srv.dispatch()
 	go func() {
 		err := s.RunOnWith(kind, mode, opts.WrapTransport, func(r *Rank) error {
 			// Any rank-side error — engine setup or a failed request —
@@ -190,12 +377,103 @@ func (srv *Server) noteFatal(err error) {
 	srv.fatalOnce.Do(func() { close(srv.fatal) })
 }
 
+// dispatch is the admission loop: it pulls requests off the queue,
+// coalesces compatible neighbors into batches up to MaxBatch within the
+// batching window, and fans each batch out to every rank in a single
+// consistent order — the collective serialization the evaluation needs.
+// It exits when the queue closes, dispatching whatever a pending window
+// holds so Close always drains admitted requests.
+func (srv *Server) dispatch() {
+	defer close(srv.dispDone)
+	defer func() {
+		for _, ch := range srv.batches {
+			close(ch)
+		}
+	}()
+	open := true
+	var held *serveReq // steps-incompatible request carried to the next batch
+	for open || held != nil {
+		var first *serveReq
+		if held != nil {
+			first, held = held, nil
+		} else {
+			req, ok := <-srv.queue
+			if !ok {
+				return
+			}
+			first = req
+		}
+		b := srv.getBatch(first)
+		if srv.maxBatch > 1 {
+			var timer *time.Timer
+			var timerC <-chan time.Time
+			if srv.window > 0 {
+				timer = getTimer(srv.window)
+				timerC = timer.C
+			}
+		fill:
+			for len(b.members) < srv.maxBatch {
+				if timerC != nil {
+					select {
+					case req, ok := <-srv.queue:
+						if !ok {
+							open = false
+							break fill
+						}
+						if req.steps != b.steps {
+							held = req
+							break fill
+						}
+						b.addMember(req)
+					case <-timerC:
+						break fill
+					}
+				} else {
+					select {
+					case req, ok := <-srv.queue:
+						if !ok {
+							open = false
+							break fill
+						}
+						if req.steps != b.steps {
+							held = req
+							break fill
+						}
+						b.addMember(req)
+					default:
+						break fill
+					}
+				}
+			}
+			if timer != nil {
+				putTimer(timer)
+			}
+		}
+		srv.deliver(b)
+	}
+}
+
+// deliver fans a batch out to every rank. The rank channels are
+// unbuffered, so delivery blocks until the previous evaluation was picked
+// up; the fatal latch unblocks a delivery to a dead world (ranks that
+// already took the batch finish every member slot, and submitters of the
+// rest unblock through the latch — the partial fan-out is harmless).
+func (srv *Server) deliver(b *serveBatch) {
+	for _, ch := range srv.batches {
+		select {
+		case ch <- b:
+		case <-srv.fatal:
+			return
+		}
+	}
+}
+
 // serveRank is one rank's serving loop: compile the engine from the
-// parameter snapshot, then evaluate requests until the channel closes or
-// a request fails. A failed evaluation is terminal for the whole server
-// (the collective fabric is desynchronized mid-pattern), but it is caught
-// per request: the error lands on the request and in the server's fatal
-// state, never as a crashed process.
+// parameter snapshot, then evaluate dispatched batches until the channel
+// closes or an evaluation fails. A failed evaluation is terminal for the
+// whole server (the collective fabric is desynchronized mid-pattern), but
+// it is caught per request: the error lands on every batch member and in
+// the server's fatal state, never as a crashed process.
 func (srv *Server) serveRank(r *Rank, snapshot [][]float64, cfg Config) error {
 	mdl, err := gnn.NewModel(cfg)
 	if err != nil {
@@ -209,39 +487,55 @@ func (srv *Server) serveRank(r *Rank, snapshot [][]float64, cfg Config) error {
 		return err
 	}
 	id := r.ID()
-	for req := range srv.reqs[id] {
-		if err := srv.serveOne(r, eng, req); err != nil {
+	for b := range srv.batches[id] {
+		if err := srv.serveBatchOn(r, eng, b); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// serveOne evaluates one request on one rank under panic recovery and the
-// effective receive deadline, and always finishes the rank's slot — the
-// submitter never waits on a rank that already failed.
-func (srv *Server) serveOne(r *Rank, eng *gnn.Inference, req *serveReq) (err error) {
+// serveBatchOn evaluates one batch on one rank under panic recovery and
+// the effective receive deadline, and always finishes every member's slot
+// — no submitter ever waits on a rank that already failed. Multi-member
+// batches run through the engine's block-diagonal entry points; the
+// bitwise contract (PredictBatch ≡ per-sample Predict) keeps results
+// independent of how requests happened to coalesce.
+func (srv *Server) serveBatchOn(r *Rank, eng *gnn.Inference, b *serveBatch) (err error) {
 	id := r.ID()
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("meshgnn: serving rank %d: %w", id, comm.PanicError(p))
 		}
-		req.finish(id, err)
+		for _, req := range b.members {
+			req.finish(id, err)
+		}
+		if b.pending.Add(-1) == 0 {
+			srv.putBatch(b)
+		}
 	}()
-	// The request's own deadline tightens the serving receive bound: a
-	// collective stuck past the caller's patience unwinds instead of
-	// pinning the rank.
-	d := srv.recvTime
-	if req.timeout > 0 && (d <= 0 || req.timeout < d) {
-		d = req.timeout
+	r.Ctx.Comm.SetRecvTimeout(b.bound)
+	if len(b.members) == 1 {
+		req := b.members[0]
+		if b.steps > 0 {
+			req.trajs[id] = eng.Rollout(r.Ctx, req.inputs[id], b.steps)
+		} else {
+			// The engine recycles its prediction buffer after one further
+			// call; responses escape the server, so each gets its own copy.
+			req.outs[id] = eng.Predict(r.Ctx, req.inputs[id]).Clone()
+		}
+		return nil
 	}
-	r.Ctx.Comm.SetRecvTimeout(d)
-	if req.steps > 0 {
-		req.trajs[id] = eng.Rollout(r.Ctx, req.inputs[id], req.steps)
+	if b.steps > 0 {
+		trajs := eng.RolloutBatch(r.Ctx, b.ins[id], b.steps)
+		for m, req := range b.members {
+			req.trajs[id] = trajs[m]
+		}
 	} else {
-		// The engine recycles its prediction buffer after one further
-		// call; responses escape the server, so each gets its own copy.
-		req.outs[id] = eng.Predict(r.Ctx, req.inputs[id]).Clone()
+		outs := eng.PredictBatch(r.Ctx, b.ins[id])
+		for m, req := range b.members {
+			req.outs[id] = outs[m].Clone()
+		}
 	}
 	return nil
 }
@@ -260,17 +554,14 @@ func (srv *Server) Predict(inputs []*Matrix) ([]*Matrix, error) {
 
 // PredictTimeout is Predict under an explicit deadline: if the collective
 // evaluation has not completed within d the call returns an
-// ErrTimeout-classified error. The evaluation itself is then bounded by
-// the same deadline through the ranks' receive timeouts — a rank stuck in
-// a collective unwinds (failing the server fast) while ranks that are
-// merely slow finish their work and keep the server usable; only the
-// abandoned result is discarded. d <= 0 means no deadline.
+// ErrTimeout-classified error. The deadline bounds the caller's wait
+// only: the evaluation itself keeps running under the ranks' receive
+// deadline, other members of the same batch are unaffected, and the
+// abandoned result is discarded safely — a late-finishing rank can never
+// write into a subsequent request's output. d <= 0 means no deadline.
 func (srv *Server) PredictTimeout(inputs []*Matrix, d time.Duration) ([]*Matrix, error) {
-	req, err := srv.submit(inputs, 0, d)
-	if err != nil {
-		return nil, err
-	}
-	return req.outs, nil
+	outs, _, err := srv.submit(inputs, 0, d)
+	return outs, err
 }
 
 // Rollout submits one initial snapshot per rank and rolls the engine
@@ -287,49 +578,34 @@ func (srv *Server) RolloutTimeout(inputs []*Matrix, steps int, d time.Duration) 
 	if steps < 1 {
 		return nil, fmt.Errorf("meshgnn: rollout needs steps >= 1, got %d", steps)
 	}
-	req, err := srv.submit(inputs, steps, d)
-	if err != nil {
-		return nil, err
-	}
-	return req.trajs, nil
+	_, trajs, err := srv.submit(inputs, steps, d)
+	return trajs, err
 }
 
-// submit validates the snapshots, fans the request out to every rank, and
-// waits for the collective evaluation under the deadline. steps > 0
-// requests a rollout of steps autoregressive applications; 0 a single
-// prediction.
-func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) (*serveReq, error) {
+// submit validates the snapshots, admits the request to the dispatch
+// queue, and waits for the collective evaluation under the deadline.
+// steps > 0 requests a rollout of steps autoregressive applications; 0 a
+// single prediction. The returned slices are fresh copies — the pooled
+// request scaffolding never escapes.
+func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tensor.Matrix, [][]*tensor.Matrix, error) {
 	if len(inputs) != srv.ranks {
-		return nil, fmt.Errorf("meshgnn: %d snapshots for %d serving ranks", len(inputs), srv.ranks)
+		return nil, nil, fmt.Errorf("meshgnn: %d snapshots for %d serving ranks", len(inputs), srv.ranks)
 	}
 	if steps > 0 && srv.in != srv.out {
-		return nil, fmt.Errorf("meshgnn: rollout needs matching widths, model maps %d -> %d", srv.in, srv.out)
+		return nil, nil, fmt.Errorf("meshgnn: rollout needs matching widths, model maps %d -> %d", srv.in, srv.out)
 	}
 	for r, x := range inputs {
 		if x == nil {
-			return nil, fmt.Errorf("meshgnn: rank %d snapshot is nil", r)
+			return nil, nil, fmt.Errorf("meshgnn: rank %d snapshot is nil", r)
 		}
 		if want := srv.sys.Locals[r].NumLocal(); x.Rows != want || x.Cols != srv.in {
-			return nil, fmt.Errorf("meshgnn: rank %d snapshot is %dx%d, want %dx%d",
+			return nil, nil, fmt.Errorf("meshgnn: rank %d snapshot is %dx%d, want %dx%d",
 				r, x.Rows, x.Cols, want, srv.in)
 		}
 	}
-	req := &serveReq{
-		inputs:  inputs,
-		steps:   steps,
-		timeout: d,
-		outs:    make([]*tensor.Matrix, srv.ranks),
-		trajs:   make([][]*tensor.Matrix, srv.ranks),
-		errs:    make([]error, srv.ranks),
-		pending: srv.ranks,
-		done:    make(chan struct{}),
-	}
-
-	// Fan out under the lock: every rank sees every accepted request, in
-	// the same order — the collective serialization the evaluation needs.
-	// The channels are unbuffered, so a second submitter blocks here (on
-	// the lock or the busy ranks) until the previous request is picked
-	// up; the fatal latch unblocks the fan-out if a rank dies under it.
+	// Registering with subWG under the lock orders every admission
+	// attempt against Close: a submitter that saw the server open holds
+	// the queue alive until its enqueue resolves.
 	srv.mu.Lock()
 	if srv.closed {
 		err := srv.err
@@ -337,36 +613,87 @@ func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) (*serveR
 		if err == nil {
 			err = fmt.Errorf("meshgnn: server is closed")
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	for i := range srv.reqs {
-		select {
-		case srv.reqs[i] <- req:
-		case <-srv.fatal:
-			srv.mu.Unlock()
-			// Ranks that already took the request fail it or finish it;
-			// nobody waits on it, so the partial fan-out is harmless.
-			return nil, srv.terminalError()
-		}
-	}
+	srv.subWG.Add(1)
 	srv.mu.Unlock()
 
-	// Wait off the lock so Close and the fatal path stay reachable.
+	req := srv.getReq()
+	copy(req.inputs, inputs)
+	req.steps = steps
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
 	if d > 0 {
-		timer := time.NewTimer(d)
-		defer timer.Stop()
+		timer = getTimer(d)
+		timerC = timer.C
+	}
+	enqueued, timedOut := false, false
+	select {
+	case srv.queue <- req:
+		enqueued = true
+	case <-srv.fatal:
+	case <-timerC:
+		timedOut = true
+	}
+	srv.subWG.Done()
+	if !enqueued {
+		if timer != nil {
+			putTimer(timer)
+		}
+		// No rank ever saw this request; both references come back.
+		req.release(2)
+		if timedOut {
+			return nil, nil, fmt.Errorf("meshgnn: request %w after %v (admission queue full)", comm.ErrTimeout, d)
+		}
+		return nil, nil, srv.terminalError()
+	}
+
+	completed := false
+	select {
+	case <-req.done:
+		completed = true
+	case <-timerC:
+	case <-srv.fatal:
+		// The latch may race an already-complete request; prefer its
+		// answer when it has one.
 		select {
 		case <-req.done:
-		case <-timer.C:
-			return nil, fmt.Errorf("meshgnn: request %w after %v", comm.ErrTimeout, d)
+			completed = true
+		default:
 		}
-	} else {
-		<-req.done
 	}
-	if err := rootCause(req.errs); err != nil {
-		return nil, fmt.Errorf("meshgnn: request failed: %w", err)
+	if timer != nil {
+		putTimer(timer)
 	}
-	return req, nil
+	if !completed {
+		// Walk away: the ranks still hold their reference and keep
+		// writing into this (now orphaned) request; it is recycled only
+		// after they finish, so no later request can observe the late
+		// results. Prefer naming a dead world over a bare deadline.
+		req.release(1)
+		select {
+		case <-srv.fatal:
+			return nil, nil, srv.terminalError()
+		default:
+		}
+		return nil, nil, fmt.Errorf("meshgnn: request %w after %v", comm.ErrTimeout, d)
+	}
+	rerr := rootCause(req.errs)
+	var outs []*tensor.Matrix
+	var trajs [][]*tensor.Matrix
+	if rerr == nil {
+		if steps > 0 {
+			trajs = append([][]*tensor.Matrix(nil), req.trajs...)
+		} else {
+			outs = append([]*tensor.Matrix(nil), req.outs...)
+		}
+	}
+	req.release(1)
+	if rerr != nil {
+		return nil, nil, fmt.Errorf("meshgnn: request failed: %w", rerr)
+	}
+	return outs, trajs, nil
 }
 
 // terminalError names the server's fatal state, preferring a root cause
@@ -403,23 +730,22 @@ func rootCause(errs []error) error {
 }
 
 // Close shuts the serving ranks down and returns their collective error
-// (nil for a clean shutdown). A request in flight is drained first — its
-// ranks finish or fail it before they exit, so its submitter always gets
-// an answer. Close is idempotent and safe to race with submitters: it
-// returns the same terminal error to every caller.
+// (nil for a clean shutdown). Admitted requests are drained first — a
+// request sitting in the queue or a pending batching window is dispatched
+// and its ranks finish or fail it before they exit, so its submitter
+// always gets an answer. Close is idempotent and safe to race with
+// submitters: it returns the same terminal error to every caller.
 func (srv *Server) Close() error {
 	srv.mu.Lock()
-	if !srv.closed {
-		srv.closed = true
-		// No submitter can be mid-fan-out here (fan-out holds the lock),
-		// so closing the channels cannot race a send. Ranks drain any
-		// picked-up request, then see the close and exit.
-		for _, ch := range srv.reqs {
-			close(ch)
-		}
-	}
+	srv.closed = true
 	srv.mu.Unlock()
-
+	srv.closeOnce.Do(func() {
+		// Every admission attempt that saw the server open resolves
+		// before the queue closes, so close can never race an enqueue.
+		srv.subWG.Wait()
+		close(srv.queue)
+	})
+	<-srv.dispDone
 	<-srv.done
 
 	srv.mu.Lock()
