@@ -10,8 +10,12 @@
 // serving twin), measures the batched serving tier (block-diagonal
 // PredictBatch through the Server coalescer: throughput vs batch size
 // against sequential Predicts on a latency-bound many-rank socket
-// fabric), and writes a machine-readable JSON report (BENCH_PR8.json by
-// default) so the performance trajectory is tracked across PRs.
+// fabric), measures the concurrent serving tier (S independent serving
+// sessions over one immutable compiled engine on a link-delay-emulated
+// socket fabric: saturation throughput, tail latency under load, and the
+// session-scaling efficiency the ratchet gates), and writes a
+// machine-readable JSON report (BENCH_PR9.json by default) so the
+// performance trajectory is tracked across PRs.
 //
 // Requested sweep thread counts beyond runtime.NumCPU() are clamped (and
 // the clamp printed): oversubscribed workers only time-slice against each
@@ -22,7 +26,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # full shapes, BENCH_PR8.json
+//	go run ./cmd/bench                 # full shapes, BENCH_PR9.json
 //	go run ./cmd/bench -quick          # CI-sized shapes, 1 iteration
 //	go run ./cmd/bench -oversubscribe  # sweep past NumCPU anyway
 //	go run ./cmd/bench -baseline <ns>  # also report speedup vs a recorded
@@ -38,6 +42,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -115,7 +120,43 @@ type BatchedServingPoint struct {
 	AmortizationVsB1 float64 `json:"amortization_vs_b1"`
 }
 
-// Report is the schema of the bench report (BENCH_PR8.json).
+// ConcurrentServingPoint is one multi-session serving measurement: S
+// independent serving sessions (each its own collective group and
+// coalescing dispatcher) sharing one immutable compiled engine behind a
+// single Server front door, saturated by closed-loop clients on a 2-rank
+// socket fabric whose links carry an emulated wire latency
+// (comm.LinkDelay). The emulation makes the fabric latency-bound the way
+// a real multi-host interconnect is — on a latency-bound fabric the
+// sessions overlap independent exchange rounds, which is the effect the
+// session-scaling ratchet gates; on a purely compute-bound single-host
+// fabric S sessions only time-slice the cores and scaling stays ~1x.
+// Every per-sample result is checked bitwise against the single-session
+// engine, so throughput is the only axis.
+type ConcurrentServingPoint struct {
+	Ranks       int     `json:"ranks"`
+	Mode        string  `json:"mode"`
+	Sessions    int     `json:"sessions"`
+	Clients     int     `json:"clients"`
+	LinkDelayUs float64 `json:"link_delay_us"`
+	Requests    int64   `json:"requests"`
+	MeasureSec  float64 `json:"measure_sec"`
+
+	ThroughputReqSec float64 `json:"throughput_req_per_sec"`
+	LatencyP50Ns     float64 `json:"latency_p50_ns"`
+	LatencyP99Ns     float64 `json:"latency_p99_ns"`
+	LatencyMaxNs     float64 `json:"latency_max_ns"`
+
+	// ScalingVsS1 is ThroughputReqSec(S) / ThroughputReqSec(S=1): the
+	// session-scaling efficiency. The S=4 entry carries the ratcheted
+	// floor (cmd/ratchet -session-scaling).
+	ScalingVsS1 float64 `json:"scaling_vs_s1"`
+	// BitwiseEqual records that every served prediction matched the
+	// single-session reference bit for bit; the run aborts if any
+	// diverged, so a committed report always carries true.
+	BitwiseEqual bool `json:"bitwise_equal"`
+}
+
+// Report is the schema of the bench report (BENCH_PR9.json).
 type Report struct {
 	GeneratedBy string `json:"generated_by"`
 	Quick       bool   `json:"quick"`
@@ -143,6 +184,11 @@ type Report struct {
 	// fused dispatch amortize the per-request overhead.
 	BatchedServing []BatchedServingPoint `json:"batched_serving"`
 
+	// ConcurrentServing holds the multi-session serving tier: saturation
+	// throughput and tail latency vs session count over one shared
+	// immutable compiled engine on the link-delay-emulated socket fabric.
+	ConcurrentServing []ConcurrentServingPoint `json:"concurrent_serving"`
+
 	// SteadyStateAllocs maps each hot kernel to its AllocsPerRun count
 	// after warm-up (threads=1). The zero-allocation contract requires
 	// every entry to be 0.
@@ -157,7 +203,7 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized shapes and a single timed iteration per benchmark")
-	out := flag.String("o", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR9.json", "output JSON path")
 	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
 	oversub := flag.Bool("oversubscribe", false, "lift the NumCPU clamp on the thread sweep")
 	baseline := flag.Float64("baseline", 0, "pre-optimization train-step ns/op to compute the speedup against")
@@ -212,6 +258,9 @@ func main() {
 	meshgnn.SetParallelism(0, true)
 
 	measureBatchedServing(rep, *quick)
+	meshgnn.SetParallelism(0, true)
+
+	measureConcurrentServing(rep, *quick)
 	meshgnn.SetParallelism(0, true)
 
 	checkSteadyStateAllocs(rep, *quick)
@@ -629,6 +678,159 @@ func measureBatchedServing(rep *Report, quick bool) {
 		fmt.Printf("  B=%d  %12.0f ns/req  %10.1f req/s  amortization %.2fx\n",
 			batch, pt.NsPerReq, pt.ThroughputReqSec, pt.AmortizationVsB1)
 	}
+}
+
+// measureConcurrentServing records the multi-session serving tier: one
+// Server whose engine is compiled once (immutable parameter twins,
+// pre-packed GEMM panels, shared static-edge cache) and served through S
+// independent sessions, each its own 2-rank socket collective group,
+// saturated by 4*S closed-loop clients. The links carry an emulated wire
+// latency (comm.LinkDelay, 500µs) so the fabric is latency-bound the way
+// a real multi-host interconnect is: a single session spends most of
+// each request blocked on halo round-trips, and S sessions overlap S
+// independent rounds — the throughput scaling cmd/ratchet
+// -session-scaling floors at 2.5x for S=4. On a compute-bound in-host
+// fabric (no delay) sessions merely time-slice the cores and the scaling
+// column would read ~1x, which is why the emulation is part of the tier,
+// not a convenience. Every served answer is compared bitwise against a
+// single-session reference; any divergence aborts the run.
+func measureConcurrentServing(rep *Report, quick bool) {
+	meshgnn.SetParallelism(1, true)
+	const ranks, elems, p = 2, 3, 1
+	delay := 500 * time.Microsecond
+	warmup, measure := 400*time.Millisecond, 2*time.Second
+	if quick {
+		warmup, measure = 150*time.Millisecond, 600*time.Millisecond
+	}
+	m, err := meshgnn.NewMesh(ranks*elems, elems, elems, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, ranks, meshgnn.Slabs)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+	if err != nil {
+		fatal(err)
+	}
+	f := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	inputs := make([]*meshgnn.Matrix, sys.Ranks)
+	for r := range inputs {
+		inputs[r] = meshgnn.SampleField(f, sys.Locals[r], 0.25)
+	}
+	// Reference: the training model evaluated collectively — the bitwise
+	// contract every concurrently served answer must meet.
+	want, err := meshgnn.RunCollect(sys, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) (*meshgnn.Matrix, error) {
+		mdl, err := meshgnn.NewModel(meshgnn.SmallConfig())
+		if err != nil {
+			return nil, err
+		}
+		return mdl.Forward(r.Ctx, inputs[r.ID()]).Clone(), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench: concurrent serving tier (R=%d sockets, %v emulated link delay, %v measured):\n",
+		ranks, delay, measure)
+	var baseThroughput float64
+	for _, sessions := range []int{1, 2, 4} {
+		srv, err := sys.ServeWith(meshgnn.Sockets, meshgnn.NeighborAllToAll, model, meshgnn.ServeOptions{
+			Sessions:      sessions,
+			MaxBatch:      1, // no coalescing: the scaling column must not ride batch amortization
+			WrapTransport: meshgnn.LinkDelay(delay),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		clients := 4 * sessions
+		recs := make([]*experiments.LatencyRecorder, clients)
+		mismatches := make([]int64, clients)
+		errs := make([]error, clients)
+		recStart := time.Now().Add(warmup)
+		stop := recStart.Add(measure)
+		var wg sync.WaitGroup
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				rec := experiments.NewLatencyRecorder(experiments.DefaultLatencySamples)
+				recs[cl] = rec
+				for {
+					t0 := time.Now()
+					if t0.After(stop) {
+						return
+					}
+					outs, err := srv.Predict(inputs)
+					if err != nil {
+						errs[cl] = err
+						return
+					}
+					if !t0.Before(recStart) {
+						rec.Record(float64(time.Since(t0).Nanoseconds()))
+					}
+					for r := range want {
+						if !bitwiseEqual(outs[r], want[r]) {
+							mismatches[cl]++
+						}
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		if cerr := srv.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		rec := experiments.NewLatencyRecorder(experiments.DefaultLatencySamples)
+		var bad int64
+		for cl := range recs {
+			if errs[cl] != nil {
+				fatal(errs[cl])
+			}
+			rec.Merge(recs[cl])
+			bad += mismatches[cl]
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "bench: FAIL %d concurrently served predictions diverged bitwise from the single-session reference (S=%d)\n",
+				bad, sessions)
+			os.Exit(1)
+		}
+		throughput := float64(rec.Count()) / measure.Seconds()
+		if sessions == 1 {
+			baseThroughput = throughput
+		}
+		pt := ConcurrentServingPoint{
+			Ranks: ranks, Mode: "na2a", Sessions: sessions, Clients: clients,
+			LinkDelayUs: float64(delay.Microseconds()),
+			Requests:    rec.Count(), MeasureSec: measure.Seconds(),
+			ThroughputReqSec: throughput,
+			LatencyP50Ns:     rec.Quantile(50),
+			LatencyP99Ns:     rec.Quantile(99),
+			LatencyMaxNs:     rec.Max(),
+			ScalingVsS1:      throughput / baseThroughput,
+			BitwiseEqual:     true,
+		}
+		rep.ConcurrentServing = append(rep.ConcurrentServing, pt)
+		fmt.Printf("  S=%d  %6d req  %10.1f req/s  p50 %7.3f ms  p99 %7.3f ms  max %7.3f ms  scaling %.2fx\n",
+			sessions, pt.Requests, pt.ThroughputReqSec,
+			pt.LatencyP50Ns/1e6, pt.LatencyP99Ns/1e6, pt.LatencyMaxNs/1e6, pt.ScalingVsS1)
+	}
+}
+
+// bitwiseEqual reports whether two matrices carry identical bit patterns
+// value for value — the concurrency tier's equality contract (no
+// tolerance: sessions share one compiled engine, so every code path is
+// the same arithmetic).
+func bitwiseEqual(a, b *meshgnn.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // measureOverlap times the end-to-end training step on a multi-rank run

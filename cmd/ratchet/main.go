@@ -15,13 +15,18 @@
 //     amortize: the B=8 coalesced-batch entry's amortization_vs_b1 must
 //     reach -batch-amort (default 1.5x; pass 0 to skip, e.g. when gating
 //     a fresh run whose absolute serving latencies are too noisy for a
-//     strict floor).
+//     strict floor), and
+//   - the concurrent serving tier must scale: the new report's S=4
+//     multi-session entry must reach -session-scaling times the S=1
+//     saturation throughput on the link-delay-emulated socket fabric
+//     (default 2.5x; pass 0 to skip), with every entry's bitwise_equal
+//     flag set — throughput bought by numeric divergence doesn't count.
 //
 // Per kernel the best (minimum) ns/op across the thread sweep is
 // compared, so reports swept at different thread counts remain
 // comparable. CI runs it over the committed reports:
 //
-//	go run ./cmd/ratchet -old BENCH_PR6.json -new BENCH_PR8.json
+//	go run ./cmd/ratchet -old BENCH_PR8.json -new BENCH_PR9.json
 package main
 
 import (
@@ -41,6 +46,11 @@ type report struct {
 		Batch            int     `json:"batch"`
 		AmortizationVsB1 float64 `json:"amortization_vs_b1"`
 	} `json:"batched_serving"`
+	ConcurrentServing []struct {
+		Sessions     int     `json:"sessions"`
+		ScalingVsS1  float64 `json:"scaling_vs_s1"`
+		BitwiseEqual bool    `json:"bitwise_equal"`
+	} `json:"concurrent_serving"`
 }
 
 // best returns the minimum ns/op recorded for the named benchmark across
@@ -71,12 +81,13 @@ func load(path string) (*report, error) {
 }
 
 func main() {
-	oldPath := flag.String("old", "BENCH_PR6.json", "baseline bench report")
-	newPath := flag.String("new", "BENCH_PR8.json", "candidate bench report")
+	oldPath := flag.String("old", "BENCH_PR8.json", "baseline bench report")
+	newPath := flag.String("new", "BENCH_PR9.json", "candidate bench report")
 	matmulRatio := flag.Float64("matmul-ratio", 1.3, "required old/new speedup on mat_mul")
 	inferRatio := flag.Float64("infer-ratio", 1.0, "required old/new speedup on infer_step (below 1.0 tolerates cross-hardware noise)")
 	f32Ratio := flag.Float64("f32-ratio", 1.2, "required infer_step/infer_step_f32 speedup within the new report")
 	batchAmort := flag.Float64("batch-amort", 1.5, "required B=8 batched-serving amortization in the new report (0 skips)")
+	sessionScaling := flag.Float64("session-scaling", 2.5, "required S=4 concurrent-serving throughput scaling vs S=1 in the new report (0 skips)")
 	flag.Parse()
 
 	oldRep, err := load(*oldPath)
@@ -131,6 +142,24 @@ func main() {
 		check("batched serving B=8 amort", amort, *batchAmort)
 	} else {
 		fmt.Println("  (batched-serving amortization ratchet skipped)")
+	}
+	if *sessionScaling > 0 {
+		scaling := 0.0
+		found := false
+		for _, p := range newRep.ConcurrentServing {
+			if !p.BitwiseEqual {
+				fail("concurrent_serving S=%d entry is not bitwise-equal to the single-session engine", p.Sessions)
+			}
+			if p.Sessions == 4 {
+				scaling, found = p.ScalingVsS1, true
+			}
+		}
+		if !found {
+			fail("no S=4 concurrent_serving entry in the new report (pass -session-scaling 0 to skip)")
+		}
+		check("concurrent serving S=4 scaling", scaling, *sessionScaling)
+	} else {
+		fmt.Println("  (session-scaling ratchet skipped)")
 	}
 
 	if !ok {

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"meshgnn"
+	"meshgnn/internal/experiments"
+	"meshgnn/internal/field"
+)
+
+// LoadgenPoint is one open-loop measurement: requests offered to the
+// server at a fixed Poisson rate for a fixed duration, with the warm-up
+// prefix discarded. Achieved throughput tracks the offered rate until
+// the server saturates; past saturation the achieved rate plateaus, the
+// queues fill, and requests start missing the deadline (Dropped) — the
+// knee of the achieved-vs-offered curve is the saturation throughput.
+type LoadgenPoint struct {
+	Sessions       int     `json:"sessions"`
+	OfferedReqSec  float64 `json:"offered_req_per_sec"`
+	AchievedReqSec float64 `json:"achieved_req_per_sec"`
+	Requests       int64   `json:"requests"`
+	// Dropped counts requests that returned an error — in a healthy
+	// overload that is the admission queue refusing within the request
+	// deadline, i.e. graceful load shedding, not a serving fault.
+	Dropped int64 `json:"dropped"`
+
+	LatencyMeanNs float64 `json:"latency_mean_ns"`
+	LatencyP50Ns  float64 `json:"latency_p50_ns"`
+	LatencyP99Ns  float64 `json:"latency_p99_ns"`
+	LatencyMaxNs  float64 `json:"latency_max_ns"`
+}
+
+// LoadgenReport is the schema cmd/serve -loadgen writes with -o.
+type LoadgenReport struct {
+	Ranks       int            `json:"ranks"`
+	Mode        string         `json:"mode"`
+	Model       string         `json:"model"`
+	LinkDelayUs float64        `json:"link_delay_us"`
+	WarmupSec   float64        `json:"warmup_sec"`
+	DurationSec float64        `json:"duration_sec"`
+	Deadline    string         `json:"request_deadline"`
+	Points      []LoadgenPoint `json:"points"`
+}
+
+// loadgenConfig carries the parsed -loadgen flags.
+type loadgenConfig struct {
+	sessions  []int
+	rates     []float64
+	duration  time.Duration
+	warmup    time.Duration
+	deadline  time.Duration
+	linkDelay time.Duration
+	out       string
+}
+
+// runLoadgen drives the open-loop load generator: for each session count
+// and each offered rate it serves a Poisson arrival stream (seeded, so
+// the schedule is reproducible) against a multi-session server on the
+// socket fabric, discards the warm-up prefix, and records achieved
+// throughput plus the latency distribution from a fixed-size reservoir.
+//
+// Open loop means arrivals do not wait for completions — the generator
+// keeps offering at the configured rate even when the server falls
+// behind, which is what exposes saturation: a closed loop self-throttles
+// and always reports "100% served". Each request carries a deadline so
+// overload degrades into bounded-latency load shedding instead of an
+// unbounded in-flight pile-up.
+//
+// With -linkdelay > 0 every transport send pays an emulated wire latency
+// (meshgnn.LinkDelay), putting the fabric in the latency-bound regime
+// where independent sessions genuinely overlap their halo round-trips;
+// on a single host without the delay the sessions only time-slice the
+// cores and session scaling is not measurable.
+func runLoadgen(lc loadgenConfig, ranks int, mode meshgnn.ExchangeMode, cfg meshgnn.Config,
+	elems, p int) error {
+	m, err := meshgnn.NewMesh(ranks*elems, elems, elems, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		return err
+	}
+	sys, err := meshgnn.NewSystem(m, ranks, meshgnn.Slabs)
+	if err != nil {
+		return err
+	}
+	mdl, err := meshgnn.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	f := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	inputs := make([]*meshgnn.Matrix, sys.Ranks)
+	for r := range inputs {
+		inputs[r] = field.Sample(f, sys.Locals[r], 0.25)
+	}
+
+	rep := &LoadgenReport{
+		Ranks: ranks, Mode: fmt.Sprint(mode), Model: cfg.Name,
+		LinkDelayUs: float64(lc.linkDelay.Microseconds()),
+		WarmupSec:   lc.warmup.Seconds(), DurationSec: lc.duration.Seconds(),
+		Deadline: lc.deadline.String(),
+	}
+	fmt.Printf("loadgen: open-loop Poisson arrivals, R=%d sockets, %v link delay, %v warm-up + %v measured, %v request deadline\n",
+		ranks, lc.linkDelay, lc.warmup, lc.duration, lc.deadline)
+	for _, sessions := range lc.sessions {
+		srv, err := sys.ServeWith(meshgnn.Sockets, mode, mdl, meshgnn.ServeOptions{
+			Sessions:      sessions,
+			MaxBatch:      1,
+			WrapTransport: meshgnn.LinkDelay(lc.linkDelay),
+		})
+		if err != nil {
+			return err
+		}
+		// One throwaway request per session binds the engines before the
+		// clock starts (arena recording, graph staging).
+		for i := 0; i < sessions; i++ {
+			if _, err := srv.Predict(inputs); err != nil {
+				srv.Close()
+				return err
+			}
+		}
+		fmt.Printf("  S=%d:\n", sessions)
+		for _, rate := range lc.rates {
+			pt := offerLoad(srv, inputs, sessions, rate, lc)
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("    offered %8.1f req/s  achieved %8.1f req/s  dropped %5d  p50 %7.3f ms  p99 %7.3f ms  max %7.3f ms\n",
+				pt.OfferedReqSec, pt.AchievedReqSec, pt.Dropped,
+				pt.LatencyP50Ns/1e6, pt.LatencyP99Ns/1e6, pt.LatencyMaxNs/1e6)
+		}
+		if err := srv.Close(); err != nil {
+			return err
+		}
+	}
+
+	if lc.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(lc.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: report written to %s\n", lc.out)
+	}
+	return nil
+}
+
+// offerLoad runs one (sessions, rate) point: a seeded Poisson arrival
+// process for warmup+duration, each arrival a concurrent PredictTimeout,
+// with only completions that STARTED after the warm-up cutoff recorded.
+func offerLoad(srv *meshgnn.Server, inputs []*meshgnn.Matrix, sessions int,
+	rate float64, lc loadgenConfig) LoadgenPoint {
+	rng := rand.New(rand.NewSource(1))
+	rec := experiments.NewLatencyRecorder(experiments.DefaultLatencySamples)
+	var (
+		mu                 sync.Mutex
+		wg                 sync.WaitGroup
+		completed, dropped int64
+	)
+	start := time.Now()
+	recStart := start.Add(lc.warmup)
+	stop := recStart.Add(lc.duration)
+	next := start
+	for {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if time.Now().After(stop) {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := srv.PredictTimeout(inputs, lc.deadline)
+			lat := float64(time.Since(t0).Nanoseconds())
+			if t0.Before(recStart) {
+				return // warm-up discard
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				dropped++
+				return
+			}
+			completed++
+			rec.Record(lat)
+		}()
+		// Poisson process: exponential inter-arrival times at the offered
+		// rate, from a fixed seed so the schedule replays exactly.
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * 1e9))
+	}
+	wg.Wait()
+	return LoadgenPoint{
+		Sessions:       sessions,
+		OfferedReqSec:  rate,
+		AchievedReqSec: float64(completed) / lc.duration.Seconds(),
+		Requests:       completed,
+		Dropped:        dropped,
+		LatencyMeanNs:  rec.Mean(),
+		LatencyP50Ns:   rec.Quantile(50),
+		LatencyP99Ns:   rec.Quantile(99),
+		LatencyMaxNs:   rec.Max(),
+	}
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q in %q", part, s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseRateList parses a comma-separated list of positive rates (req/s).
+func parseRateList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q in %q", part, s)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

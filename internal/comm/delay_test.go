@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkDelayTransparent asserts the emulated link changes nothing but
+// wall time: payloads, ordering, and both the blocking and nonblocking
+// paths survive the wrapper intact, and the round trip provably pays the
+// configured latency.
+func TestLinkDelayTransparent(t *testing.T) {
+	const d = 2 * time.Millisecond
+	start := time.Now()
+	err := RunWith(2, LinkDelay(d), func(c *Comm) error {
+		peer := 1 - c.Rank()
+		// Blocking f64 + int paths.
+		c.Send(peer, TagUser, []float64{float64(c.Rank()), 42})
+		got := c.Recv(peer, TagUser)
+		if len(got) != 2 || got[0] != float64(peer) || got[1] != 42 {
+			t.Errorf("rank %d: payload corrupted through the delayed link: %v", c.Rank(), got)
+		}
+		c.SendInts(peer, TagUser, []int64{int64(c.Rank())})
+		goti := c.RecvInts(peer, TagUser)
+		if len(goti) != 1 || goti[0] != int64(peer) {
+			t.Errorf("rank %d: int payload corrupted: %v", c.Rank(), goti)
+		}
+		// Nonblocking pair.
+		sreq := c.Isend(peer, TagUser, []float64{7})
+		rreq := c.Irecv(peer, TagUser)
+		sreq.Wait()
+		if buf := rreq.Wait(); len(buf) != 1 || buf[0] != 7 {
+			t.Errorf("rank %d: nonblocking payload corrupted: %v", c.Rank(), buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 sends per rank, each stalled d on the sending side.
+	if elapsed := time.Since(start); elapsed < 3*d {
+		t.Fatalf("2-rank exchange with 3 delayed sends finished in %v, want >= %v", elapsed, 3*d)
+	}
+}
+
+// TestLinkDelayZeroIsIdentity asserts d <= 0 interposes nothing — the
+// wrapper hands back the endpoint it was given.
+func TestLinkDelayZeroIsIdentity(t *testing.T) {
+	ft := NewFaultTransport(nil, nil)
+	if got := LinkDelay(0)(ft); got != Transport(ft) {
+		t.Fatal("LinkDelay(0) wrapped the transport")
+	}
+	if got := LinkDelay(-time.Second)(ft); got != Transport(ft) {
+		t.Fatal("LinkDelay(<0) wrapped the transport")
+	}
+}
+
+// TestChainWrap asserts composition order (first wrapper innermost) and
+// nil skipping.
+func TestChainWrap(t *testing.T) {
+	base := NewFaultTransport(nil, nil)
+	inner := func(tr Transport) Transport { return &delayTransport{inner: tr, d: 1} }
+	outer := func(tr Transport) Transport { return &delayTransport{inner: tr, d: 2} }
+	got := ChainWrap(inner, nil, outer)(base)
+	o, ok := got.(*delayTransport)
+	if !ok || o.d != 2 {
+		t.Fatalf("outermost wrapper is %T, want the last non-nil wrap", got)
+	}
+	i, ok := o.inner.(*delayTransport)
+	if !ok || i.d != 1 {
+		t.Fatalf("inner wrapper is %T (d=%v), want the first wrap", o.inner, 1)
+	}
+	if i.inner != Transport(base) {
+		t.Fatal("innermost is not the base transport")
+	}
+	if ChainWrap()(base) != Transport(base) {
+		t.Fatal("empty chain is not the identity")
+	}
+}

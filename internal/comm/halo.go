@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"meshgnn/internal/tensor"
@@ -26,6 +27,14 @@ type HaloPlan struct {
 	// neighbors, used by the uniform-buffer AllToAll mode. Populated by
 	// FinalizePlan.
 	MaxSendCount int
+
+	// finalizeOnce makes the FinalizePlan write one-shot: plans hang off
+	// the shared per-rank graph.Local, and concurrent serving sessions
+	// each run their own collective setup over the same plans. The
+	// reduction is deterministic — every finalize computes the identical
+	// count — so first-write-wins is exact, and Once's memory ordering
+	// publishes it to every later finalizer.
+	finalizeOnce sync.Once
 }
 
 // TotalHalo returns the number of halo rows the plan fills.
@@ -50,10 +59,16 @@ func (p *HaloPlan) maxLocalSend() int {
 
 // FinalizePlan computes the global MaxSendCount via an AllReduce, mirroring
 // the setup step a uniform-buffer AllToAll implementation performs once.
+//
+// Every caller participates in the collective unconditionally — skipping
+// it on an already-finalized plan would deadlock any world in which the
+// ranks disagree about what they observed — but only the first finalize
+// writes the (deterministic, identical) result, so concurrent collective
+// worlds sharing one plan are safe.
 func FinalizePlan(c *Comm, p *HaloPlan) {
 	buf := []float64{float64(p.maxLocalSend())}
 	c.AllReduceMax(buf)
-	p.MaxSendCount = int(buf[0])
+	p.finalizeOnce.Do(func() { p.MaxSendCount = int(buf[0]) })
 }
 
 // ExchangeMode selects the halo exchange implementation, matching the four

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"meshgnn/internal/comm"
@@ -35,10 +34,13 @@ type ServingPoint struct {
 
 	// Request-level serving statistics over the engine (rank-0 wall
 	// clock; requests are collective, so this is the system latency).
+	// Quantiles come from a fixed-size reservoir (LatencyRecorder); the
+	// max is exact at any stream length.
 	ThroughputReqSec float64 `json:"throughput_req_per_sec"`
 	LatencyMeanNs    float64 `json:"latency_mean_ns"`
 	LatencyP50Ns     float64 `json:"latency_p50_ns"`
 	LatencyP99Ns     float64 `json:"latency_p99_ns"`
+	LatencyMaxNs     float64 `json:"latency_max_ns"`
 
 	// RolloutSteps/RolloutNs time one multi-step autoregressive rollout
 	// through the engine (0 steps skips it).
@@ -169,14 +171,15 @@ func MeasureInferenceRank(c *comm.Comm, box *mesh.Box, l *graph.Local, mode comm
 	c.Barrier()
 	pt.TrainForwardNs = float64(time.Since(start).Nanoseconds()) / float64(requests)
 
-	// Engine serving: per-request latency profile.
-	lat := make([]float64, requests)
+	// Engine serving: per-request latency profile into a flat-memory
+	// reservoir recorder — the request count no longer sizes anything.
+	rec := NewLatencyRecorder(DefaultLatencySamples)
 	c.Barrier()
 	start = time.Now()
 	for i := 0; i < requests; i++ {
 		t0 := time.Now()
 		eng.Predict(rc, x)
-		lat[i] = float64(time.Since(t0).Nanoseconds())
+		rec.Record(float64(time.Since(t0).Nanoseconds()))
 	}
 	c.Barrier()
 	elapsed := time.Since(start)
@@ -185,14 +188,10 @@ func MeasureInferenceRank(c *comm.Comm, box *mesh.Box, l *graph.Local, mode comm
 		pt.Speedup = pt.TrainForwardNs / pt.InferNs
 		pt.ThroughputReqSec = 1e9 / pt.InferNs
 	}
-	var sum float64
-	for _, v := range lat {
-		sum += v
-	}
-	pt.LatencyMeanNs = sum / float64(requests)
-	sort.Float64s(lat)
-	pt.LatencyP50Ns = percentile(lat, 50)
-	pt.LatencyP99Ns = percentile(lat, 99)
+	pt.LatencyMeanNs = rec.Mean()
+	pt.LatencyP50Ns = rec.Quantile(50)
+	pt.LatencyP99Ns = rec.Quantile(99)
+	pt.LatencyMaxNs = rec.Max()
 
 	if rolloutSteps > 0 && cfg.InputNodeFeatures == cfg.OutputNodeFeatures {
 		c.Barrier()

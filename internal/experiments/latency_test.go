@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLatencyRecorderExactWithinCapacity: with no more samples than the
+// reservoir holds, every statistic is exact.
+func TestLatencyRecorderExactWithinCapacity(t *testing.T) {
+	rec := NewLatencyRecorder(8)
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		rec.Record(v)
+	}
+	if rec.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", rec.Count())
+	}
+	if got := rec.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if rec.Min() != 1 || rec.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 1/9", rec.Min(), rec.Max())
+	}
+	if got := rec.Quantile(50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := rec.Quantile(100); got != 9 {
+		t.Fatalf("p100 = %v, want 9", got)
+	}
+}
+
+// TestLatencyRecorderStreamingBeyondCapacity: past capacity the moments
+// stay exact (max especially — tail reporting relies on it) and memory
+// stays flat while the reservoir keeps a plausible quantile estimate.
+func TestLatencyRecorderStreamingBeyondCapacity(t *testing.T) {
+	const capacity = 64
+	rec := NewLatencyRecorder(capacity)
+	n := 10_000
+	var sum float64
+	for i := 1; i <= n; i++ {
+		rec.Record(float64(i))
+		sum += float64(i)
+	}
+	if rec.Count() != int64(n) {
+		t.Fatalf("Count = %d, want %d", rec.Count(), n)
+	}
+	if got := rec.Mean(); math.Abs(got-sum/float64(n)) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", got, sum/float64(n))
+	}
+	if rec.Min() != 1 || rec.Max() != float64(n) {
+		t.Fatalf("exact extremes lost: Min/Max = %v/%v", rec.Min(), rec.Max())
+	}
+	if len(rec.reservoir) != capacity {
+		t.Fatalf("reservoir grew to %d entries, capacity %d", len(rec.reservoir), capacity)
+	}
+	// A uniform reservoir over 1..n puts the median estimate in the bulk
+	// of the distribution, not at an extreme.
+	if p50 := rec.Quantile(50); p50 < float64(n)/10 || p50 > float64(n)*9/10 {
+		t.Fatalf("p50 estimate %v implausible for uniform 1..%d", p50, n)
+	}
+}
+
+// TestLatencyRecorderDeterministic: the seeded reservoir makes identical
+// streams yield identical quantile estimates run over run.
+func TestLatencyRecorderDeterministic(t *testing.T) {
+	feed := func() *LatencyRecorder {
+		rec := NewLatencyRecorder(32)
+		v := 1.0
+		for i := 0; i < 5000; i++ {
+			v = math.Mod(v*997+13, 10007)
+			rec.Record(v)
+		}
+		return rec
+	}
+	a, b := feed(), feed()
+	for _, p := range []float64{50, 90, 99} {
+		if a.Quantile(p) != b.Quantile(p) {
+			t.Fatalf("p%v differs across identical streams: %v vs %v", p, a.Quantile(p), b.Quantile(p))
+		}
+	}
+}
+
+// TestLatencyRecorderMerge: merging preserves the exact moments and
+// bounds the combined reservoir at the destination's capacity.
+func TestLatencyRecorderMerge(t *testing.T) {
+	a := NewLatencyRecorder(16)
+	b := NewLatencyRecorder(16)
+	for i := 1; i <= 20; i++ {
+		a.Record(float64(i))
+	}
+	for i := 100; i < 125; i++ {
+		b.Record(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 45 {
+		t.Fatalf("merged Count = %d, want 45", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 124 {
+		t.Fatalf("merged Min/Max = %v/%v, want 1/124", a.Min(), a.Max())
+	}
+	wantMean := (20*21/2.0 + (100+124)*25/2.0) / 45
+	if got := a.Mean(); math.Abs(got-wantMean) > 1e-9 {
+		t.Fatalf("merged Mean = %v, want %v", got, wantMean)
+	}
+	if len(a.reservoir) > 16 {
+		t.Fatalf("merged reservoir has %d entries, capacity 16", len(a.reservoir))
+	}
+	// Merging an empty or nil recorder is a no-op.
+	before := a.Count()
+	a.Merge(NewLatencyRecorder(4))
+	a.Merge(nil)
+	if a.Count() != before {
+		t.Fatal("merging an empty recorder changed the count")
+	}
+}

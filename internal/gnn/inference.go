@@ -3,6 +3,7 @@ package gnn
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"meshgnn/internal/graph"
 	"meshgnn/internal/nn"
@@ -60,6 +61,12 @@ type Inference struct {
 	outIdx   int
 	staticHe *tensor.Matrix // cached edge encoding (EdgeFeatures4 only)
 
+	// shared is the compile's cross-session state: the static-edge
+	// encodings, computed once per rank graph and referenced read-only by
+	// every Session view (nil on Float32 engines, which keep their own
+	// f32 cache).
+	shared *inferShared
+
 	lastGraph *graph.Local
 	lastRows  int
 	lastCols  int
@@ -67,6 +74,39 @@ type Inference struct {
 	// batch is the block-diagonal batched serving state (see batch.go),
 	// created on the first PredictBatch.
 	batch *inferBatch
+}
+
+// inferShared is the explicitly immutable-after-fill portion of a
+// compile that serving sessions reference concurrently: one static-edge
+// encoding per bound rank graph. Entries are computed once, under the
+// lock, into ordinary (non-arena) storage, and only read afterwards —
+// the kernels are deterministic, so whichever session fills an entry
+// writes the bytes every session would have computed.
+type inferShared struct {
+	mu     sync.Mutex
+	static map[*graph.Local]*tensor.Matrix
+}
+
+// staticFor returns the cached static-edge encoding for g, computing it
+// through enc on a miss. Reset (via Refresh) empties the cache.
+func (s *inferShared) staticFor(g *graph.Local, se *tensor.Matrix, enc *nn.InferMLP) *tensor.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if he, ok := s.static[g]; ok {
+		return he
+	}
+	he := enc.InferForward(nil, se)
+	if s.static == nil {
+		s.static = make(map[*graph.Local]*tensor.Matrix)
+	}
+	s.static[g] = he
+	return he
+}
+
+func (s *inferShared) reset() {
+	s.mu.Lock()
+	s.static = nil
+	s.mu.Unlock()
 }
 
 // inferProcessor is the forward-only counterpart of ProcessorLayer.
@@ -77,9 +117,11 @@ type inferProcessor interface {
 
 // NewInference compiles a forward-only engine from the model. With the
 // default Float64 precision the engine aliases the model's parameters —
-// it copies nothing and never writes them. With Config.Precision ==
-// Float32 it instead SNAPSHOTS them in single precision (and pre-packs
-// the GEMM operands); post-compile parameter updates are not visible —
+// it copies nothing and never writes them — except that weight matrices
+// above the packed-GEMM threshold are packed once at compile; after
+// further training, Refresh re-packs them (bitwise-invisible either
+// way). With Config.Precision == Float32 it instead SNAPSHOTS the
+// parameters in single precision; post-compile updates are not visible —
 // rebuild the engine after further training.
 func NewInference(m *Model) (*Inference, error) {
 	if err := m.Config.Validate(); err != nil {
@@ -93,6 +135,7 @@ func NewInference(m *Model) (*Inference, error) {
 		e.f32 = compile32(m)
 		return e, nil
 	}
+	e.shared = &inferShared{}
 	e.nodeEnc = m.NodeEncoder.Compile()
 	e.edgeEnc = m.EdgeEncoder.Compile()
 	e.dec = m.Decoder.Compile()
@@ -137,19 +180,76 @@ func (e *Inference) SetOverlap(on bool) {
 	}
 }
 
-// Refresh invalidates the cached per-graph preprocessing (the static-edge
-// encoding). Call it after the source model's parameters change — e.g.
-// between in-situ training bursts — so the next Predict re-binds.
+// Refresh invalidates the cached per-(graph, parameters) preprocessing —
+// the static-edge encodings and the pre-packed weight panels. Call it
+// after the source model's parameters change — e.g. between in-situ
+// training bursts — so the next Predict re-binds and re-packs. Refresh
+// must not race concurrent predictions: with Session views sharing this
+// compile, quiesce every session first (the caches and panels they
+// reference are refreshed in place).
 func (e *Inference) Refresh() {
 	e.lastGraph = nil
 	e.staticHe = nil
+	if e.shared != nil {
+		e.shared.reset()
+	}
 	if e.f32 != nil {
 		e.f32.staticHe32 = nil
+	}
+	if e.nodeEnc != nil {
+		e.nodeEnc.Repack()
+		e.edgeEnc.Repack()
+		e.dec.Repack()
+		for _, p := range e.procs {
+			if l, ok := p.(*inferNMP); ok {
+				l.edgeMLP.Repack()
+				l.nodeMLP.Repack()
+			}
+		}
 	}
 	if e.batch != nil {
 		e.batch.lastGraph = nil
 		e.batch.staticHeB = nil
 	}
+}
+
+// Session returns an independent engine over this compile's immutable
+// state: the parameter twins, the pre-packed weight panels, and the
+// static-edge cache are shared (one compile referenced by S sessions);
+// the arena, output double-buffer, binding state, and batched-serving
+// scaffolding are fresh. Sessions may predict concurrently — each from
+// its own collective group — and their results are bitwise-identical to
+// the source engine's, sample for sample.
+//
+// Engines that carry per-session-incompatible state refuse: the Float32
+// twin snapshots its own packed operands (compile one engine per
+// session) and the attention fallback serves through the mutable
+// training layer.
+func (e *Inference) Session() (*Inference, error) {
+	if e.f32 != nil {
+		return nil, fmt.Errorf("gnn: Float32 engines share no compiled core; compile one engine per session")
+	}
+	s := &Inference{
+		Config:  e.Config,
+		arena:   tensor.NewArena(),
+		shared:  e.shared,
+		nodeEnc: e.nodeEnc.Session(),
+		edgeEnc: e.edgeEnc.Session(),
+		dec:     e.dec.Session(),
+	}
+	for _, p := range e.procs {
+		l, ok := p.(*inferNMP)
+		if !ok {
+			return nil, fmt.Errorf("gnn: processor %T serves through mutable training state; compile one engine per session", p)
+		}
+		s.procs = append(s.procs, &inferNMP{
+			edgeMLP:    l.edgeMLP.Session(),
+			nodeMLP:    l.nodeMLP.Session(),
+			disableDeg: l.disableDeg,
+			overlap:    l.overlap,
+		})
+	}
+	return s, nil
 }
 
 // WorkspaceFootprint reports the engine's arena storage in float64s — the
@@ -216,7 +316,11 @@ func (e *Inference) bind(rc *RankContext, x *tensor.Matrix) {
 	e.lastGraph, e.lastRows, e.lastCols = rc.Graph, x.Rows, x.Cols
 	e.staticHe = nil
 	if e.Config.EdgeMode == EdgeFeatures4 {
-		e.staticHe = e.edgeEnc.InferForward(nil, rc.StaticEdge)
+		if e.shared != nil {
+			e.staticHe = e.shared.staticFor(rc.Graph, rc.StaticEdge, e.edgeEnc)
+		} else {
+			e.staticHe = e.edgeEnc.InferForward(nil, rc.StaticEdge)
+		}
 	}
 }
 

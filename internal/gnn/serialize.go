@@ -75,6 +75,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 				sp.Name, len(sp.Data), sp.Rows*sp.Cols)
 		}
 		copy(p.W.Data, sp.Data)
+		p.Bump()
 	}
 	return m, nil
 }

@@ -26,6 +26,14 @@ type InferLayer interface {
 }
 
 // InferMLP is a forward-only MLP compiled from a trained MLP.
+//
+// A compiled block splits into two kinds of state. The parameter views —
+// weight/bias/gain/shift aliases and the pre-packed GEMM panels — are
+// immutable during serving and may be shared by any number of
+// evaluators; the per-call task scaffolding (the pooled parallel-for
+// tasks inside ELU and LayerNorm) is mutable and single-goroutine.
+// Session carves a fresh evaluator over the shared immutable views, so S
+// concurrent serving sessions reference one compile instead of S.
 type InferMLP struct {
 	In, Out int
 	layers  []InferLayer
@@ -33,13 +41,20 @@ type InferMLP struct {
 
 // Compile builds the forward-only twin of the block. The twin aliases
 // the block's parameters; it holds no arena — callers pass one per
-// forward (nil allocates).
+// forward (nil allocates). Weight matrices above the packed-GEMM
+// threshold are packed ONCE here (bitwise-invisible — MatMul would pack
+// the identical panels per call); after further training of the source
+// block, Repack refreshes them.
 func (m *MLP) Compile() *InferMLP {
 	out := &InferMLP{In: m.In, Out: m.Out}
 	for _, l := range m.layers {
 		switch t := l.(type) {
 		case *Linear:
-			out.layers = append(out.layers, &linearInfer{in: t.In, out: t.Out, w: t.Weight.W, b: t.Bias.W})
+			li := &linearInfer{in: t.In, out: t.Out, w: t.Weight.W, b: t.Bias.W}
+			if tensor.ShouldPack(t.In, t.Out) {
+				li.pb = tensor.PackB(t.Weight.W)
+			}
+			out.layers = append(out.layers, li)
 		case *ELU:
 			out.layers = append(out.layers, &eluInfer{})
 		case *LayerNorm:
@@ -49,6 +64,47 @@ func (m *MLP) Compile() *InferMLP {
 		}
 	}
 	return out
+}
+
+// Session returns an independent evaluator over this block's compiled
+// parameter views: the weight aliases and packed panels are shared (no
+// copies), the mutable per-call task state is fresh. Evaluators from the
+// same compile may run concurrently on different goroutines; their
+// predictions are bitwise-identical to the source evaluator's.
+func (m *InferMLP) Session() *InferMLP {
+	out := &InferMLP{In: m.In, Out: m.Out}
+	for _, l := range m.layers {
+		switch t := l.(type) {
+		case *linearInfer:
+			out.layers = append(out.layers, &linearInfer{in: t.in, out: t.out, w: t.w, b: t.b, pb: t.pb})
+		case *eluInfer:
+			out.layers = append(out.layers, &eluInfer{})
+		case *lnInfer:
+			out.layers = append(out.layers, &lnInfer{dim: t.dim, gain: t.gain, shift: t.shift})
+		default:
+			panic(fmt.Sprintf("nn: cannot session layer %T", l))
+		}
+	}
+	return out
+}
+
+// Repack refreshes the pre-packed weight panels from the aliased
+// parameter storage — call after the source block trained on. Sessions
+// share the panels, so Repack must not race concurrent evaluations (it
+// is a rebind-time operation, like gnn.Inference.Refresh). A kernel-tier
+// toggle since Compile re-packs at the new panel width.
+func (m *InferMLP) Repack() {
+	for _, l := range m.layers {
+		t, ok := l.(*linearInfer)
+		if !ok || t.pb == nil {
+			continue
+		}
+		if t.pb.NR == tensor.PackWidth() {
+			t.pb.Repack(t.w)
+		} else {
+			t.pb = tensor.PackB(t.w)
+		}
+	}
 }
 
 // InferForward evaluates the block, drawing every activation from a
@@ -61,10 +117,12 @@ func (m *InferMLP) InferForward(a *tensor.Arena, x *tensor.Matrix) *tensor.Matri
 }
 
 // linearInfer is y = x·W + b over aliased parameters, without the input
-// cache Linear keeps for its backward.
+// cache Linear keeps for its backward. Above the packed-GEMM threshold
+// the weight panels are packed once at compile (pb) instead of per call.
 type linearInfer struct {
 	in, out int
 	w, b    *tensor.Matrix
+	pb      *tensor.PackedB // compile-time packed W, nil below threshold
 }
 
 func (l *linearInfer) InferForward(a *tensor.Arena, x *tensor.Matrix) *tensor.Matrix {
@@ -72,7 +130,11 @@ func (l *linearInfer) InferForward(a *tensor.Arena, x *tensor.Matrix) *tensor.Ma
 		panic(fmt.Sprintf("nn: inference Linear input width %d, want %d", x.Cols, l.in))
 	}
 	y := a.Get(x.Rows, l.out)
-	tensor.MatMul(y, x, l.w)
+	if l.pb.Usable() {
+		tensor.MatMulPacked(y, x, l.pb)
+	} else {
+		tensor.MatMul(y, x, l.w)
+	}
 	tensor.AddRowVector(y, l.b.Data)
 	return y
 }

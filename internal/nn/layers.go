@@ -27,11 +27,27 @@ import (
 )
 
 // Param is one trainable tensor with its gradient accumulator.
+//
+// version counts the mutations of W since construction: every optimizer
+// step and checkpoint/deserialize restore calls Bump. Derived caches
+// keyed on a parameter's contents — the training-forward packed-GEMM
+// panels, most prominently — validate against Version instead of
+// re-deriving per call, so an epoch of forwards between two optimizer
+// steps packs each weight matrix exactly once. Code that writes W.Data
+// directly must Bump, or stale panels serve the old weights.
 type Param struct {
 	Name string
 	W    *tensor.Matrix
 	G    *tensor.Matrix
+
+	version uint64
 }
+
+// Bump records a mutation of W, invalidating version-keyed caches.
+func (p *Param) Bump() { p.version++ }
+
+// Version returns the mutation counter of W.
+func (p *Param) Version() uint64 { return p.version }
 
 func newParam(name string, rows, cols int) *Param {
 	return &Param{Name: name, W: tensor.New(rows, cols), G: tensor.New(rows, cols)}
@@ -68,6 +84,15 @@ type Linear struct {
 	arena *tensor.Arena
 	x     *tensor.Matrix // cached input
 	dw    *tensor.Matrix // scratch for the weight-gradient GEMM
+
+	// pw caches the packed-GEMM panels of Weight.W for the training
+	// forward, keyed by the parameter version: without it every Forward
+	// above the packed threshold re-packs the identical panels into
+	// pooled scratch. An epoch of forwards between optimizer steps now
+	// packs once; Step's Bump invalidates. Bitwise-invisible — the
+	// packed kernels consume identical panels either way.
+	pw    *tensor.PackedB
+	pwVer uint64
 }
 
 // NewLinear creates a linear layer with Glorot-uniform weights drawn from
@@ -97,7 +122,18 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	l.x = x
 	y := l.arena.Get(x.Rows, l.Out)
-	tensor.MatMul(y, x, l.Weight.W) // fully overwrites y
+	if tensor.ShouldPack(l.In, l.Out) {
+		if l.pw == nil || l.pw.NR != tensor.PackWidth() {
+			l.pw = tensor.PackB(l.Weight.W)
+			l.pwVer = l.Weight.Version()
+		} else if l.pwVer != l.Weight.Version() {
+			l.pw.Repack(l.Weight.W)
+			l.pwVer = l.Weight.Version()
+		}
+		tensor.MatMulPacked(y, x, l.pw) // fully overwrites y
+	} else {
+		tensor.MatMul(y, x, l.Weight.W) // fully overwrites y
+	}
 	tensor.AddRowVector(y, l.Bias.W.Data)
 	return y
 }

@@ -33,6 +33,7 @@ func (s *SGD) Step(params []*Param) {
 		}
 	}
 	for i, p := range params {
+		p.Bump()
 		if s.Momentum == 0 {
 			tensor.AddScaled(p.W, -s.LR, p.G)
 			continue
@@ -73,6 +74,7 @@ func (a *Adam) Step(params []*Param) {
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range params {
+		p.Bump()
 		m, v := a.m[i], a.v[i]
 		for j, g := range p.G.Data {
 			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g

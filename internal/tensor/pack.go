@@ -112,6 +112,20 @@ func usePacked32(k, n int) bool {
 // tier or below the blocking threshold, where the scalar f32 kernel wins.
 func ShouldPack32(k, n int) bool { return usePacked32(k, n) }
 
+// ShouldPack is the f64 twin of ShouldPack32: it reports whether MatMul
+// itself would route a (·,k)·(k,n) product through the packed tier.
+// Pre-packing a weight matrix (PackB) and calling MatMulPacked is then
+// bitwise-identical to MatMul on the unpacked operand — the caching
+// predicate the compiled serving twins and the training-side epoch pack
+// cache share. Below the threshold the legacy kernels win (and have
+// golden files against their bits), so callers must not pre-pack.
+func ShouldPack(k, n int) bool { return usePacked(k, n) }
+
+// PackWidth reports the current f64 panel width NR. A PackedB whose NR
+// differs (packed before a kernel-tier toggle) must be re-packed before
+// the next MatMulPacked; long-lived caches validate against this.
+func PackWidth() int { return packNR() }
+
 // PackedB is a B operand packed for the f64 GEMM tier: full NR-wide
 // panels plus column strips for the N mod NR remainder.
 type PackedB struct {
@@ -202,6 +216,15 @@ func PackBWith(ar *Arena, b *Matrix) *PackedB {
 	p.tail = backing.Data[needP : needP+needT : needP+needT]
 	p.packFrom(b)
 	return p
+}
+
+// Usable reports whether this packed operand may stand in for its source
+// matrix in MatMul: the packed tier still engages for its shape (so the
+// bits match the unpacked path) and the panel width still matches the
+// kernel tier (so MatMulPacked accepts it). Safe on a nil receiver —
+// callers keep one `if pb.Usable()` branch on their hot path.
+func (p *PackedB) Usable() bool {
+	return p != nil && usePacked(p.K, p.N) && p.NR == packNR()
 }
 
 // Repack refreshes the packed contents from b, which must have the shape

@@ -305,6 +305,12 @@ var (
 	NewFaultTransport = comm.NewFaultTransport
 	// RandomFaultPlan draws a deterministic fault schedule from a seed.
 	RandomFaultPlan = comm.RandomFaultPlan
+	// LinkDelay returns a transport interposer that charges a fixed wire
+	// latency on every outbound message — the emulation knob behind the
+	// concurrent-serving benchmarks (hand it to ServeOptions.WrapTransport).
+	LinkDelay = comm.LinkDelay
+	// ChainWrap composes transport interposers (innermost first).
+	ChainWrap = comm.ChainWrap
 )
 
 // SetParallelism configures the process-wide intra-rank compute engine:

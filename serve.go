@@ -20,27 +20,43 @@ import (
 // request, so the steady-state request path performs the same
 // zero-allocation fused forward the engine gates assert.
 //
-// A Server is safe for concurrent use. Requests enter a bounded admission
-// queue and a dispatcher serializes them into collective evaluations; with
-// ServeOptions.MaxBatch > 1 the dispatcher coalesces queued compatible
-// requests into one fused block-diagonal evaluation (PredictBatch), so B
-// concurrent submitters share a single GEMM sweep per layer and a single
-// halo frame per neighbor. Batching is an amortization, never a semantic:
-// each member's result is bitwise-identical to an unbatched evaluation,
-// and each member keeps its own deadline — a member abandoned by its
-// submitter is dropped from the result without poisoning cohabitants.
+// A Server is safe for concurrent use. With ServeOptions.Sessions == S it
+// runs S independent serving sessions — each a full collective group with
+// its own rank goroutines, fabric, halo exchangers, admission queue, and
+// coalescing dispatcher — behind one front door. All sessions reference
+// ONE compiled engine core (the parameter twins, pre-packed weight
+// panels, and static-edge cache are immutable after compile; only the
+// per-session arenas and task scaffolding are private), so S sessions
+// cost one compile plus S working sets. Each submitted request is routed
+// to the least-loaded live session; up to S requests evaluate
+// concurrently, and every result is bitwise-identical to the
+// single-session engine's.
+//
+// Requests enter a session's bounded admission queue and its dispatcher
+// serializes them into collective evaluations; with ServeOptions.MaxBatch
+// > 1 the dispatcher coalesces queued compatible requests into one fused
+// block-diagonal evaluation (PredictBatch), so B concurrent submitters
+// share a single GEMM sweep per layer and a single halo frame per
+// neighbor. Batching is an amortization, never a semantic: each member's
+// result is bitwise-identical to an unbatched evaluation, and each member
+// keeps its own deadline — a member abandoned by its submitter is dropped
+// from the result without poisoning cohabitants.
 //
 // Failure contract: every rank-side failure is caught per request — a
 // panicking rank recovers, records a classified error on the request, and
 // the caller's Predict/Rollout returns the root cause (errors.Is
 // ErrPeerDown / ErrTimeout / ErrCorruptFrame as appropriate) instead of
-// hanging or crashing the process. Because a failed collective leaves the
-// fabric desynchronized mid-pattern, the server then fails fast: the
-// first rank failure is terminal, later calls return the root-caused
-// error immediately, and Close still returns deterministically. Serving
-// ranks evaluate under a receive deadline (ServeOptions.RecvTimeout, 30s
-// default, scaled by the step count for rollouts), so peers of a dead
-// rank unwind within the deadline rather than blocking forever.
+// hanging or crashing the process. Because a failed collective leaves a
+// fabric desynchronized mid-pattern, failure is terminal PER SESSION: the
+// first rank failure latches that session fatal, its in-flight submitters
+// unblock with the root cause, and subsequent requests route to the
+// surviving sessions — one wedged session degrades capacity, it does not
+// kill the server. Only when every session has failed do submissions
+// return the server-level terminal error; Close always returns
+// deterministically, draining every session. Serving ranks evaluate under
+// a receive deadline (ServeOptions.RecvTimeout, 30s default, scaled by
+// the step count for rollouts), so peers of a dead rank unwind within the
+// deadline rather than blocking forever.
 type Server struct {
 	sys        *System
 	ranks      int
@@ -50,23 +66,47 @@ type Server struct {
 	maxBatch   int
 	window     time.Duration
 
-	queue     chan *serveReq // bounded admission queue, feeds the dispatcher
-	subWG     sync.WaitGroup // in-flight enqueue attempts, gates close(queue)
+	// core is the shared compiled engine all sessions reference (nil when
+	// the model compiles no shareable core — Float32 twin, attention
+	// fallback — in which case every rank compiles privately from the
+	// snapshot).
+	core     *gnn.Inference
+	snapshot [][]float64
+	cfg      Config
+
+	sessions  []*serveSession
 	closeOnce sync.Once
-	dispDone  chan struct{} // closed when the dispatcher has exited
-	reqPool   sync.Pool     // *serveReq scaffolding, recycled across requests
-	batchPool sync.Pool     // *serveBatch scaffolding
+	reqPool   sync.Pool // *serveReq scaffolding, recycled across requests
+	batchPool sync.Pool // *serveBatch scaffolding
 
-	mu      sync.Mutex
-	batches []chan *serveBatch
-	closed  bool
-	err     error // terminal error, set on Close or first fatal
+	mu     sync.Mutex
+	closed bool
+	err    error // terminal error, set on Close
+}
 
-	fatalOnce  sync.Once
-	fatal      chan struct{} // closed on the first rank-fatal failure
-	fatalCause []error       // rank failures in arrival order (under mu)
-	done       chan struct{} // closed when the rank world has exited
-	runErr     error         // RunOn's result, valid once done is closed
+// serveSession is one independent serving session: a collective group of
+// rank goroutines over its own fabric, fed by its own admission queue and
+// coalescing dispatcher, with its own fatal latch. Sessions share the
+// server's compiled core and request/batch pools; everything with mutable
+// per-request state is per-session.
+type serveSession struct {
+	srv *Server
+	id  int
+
+	queue    chan *serveReq // bounded admission queue, feeds the dispatcher
+	subWG    sync.WaitGroup // in-flight enqueue attempts, gates close(queue)
+	dispDone chan struct{}  // closed when the dispatcher has exited
+	batches  []chan *serveBatch
+
+	inflight atomic.Int64 // requests admitted and not yet resolved
+
+	fatalOnce sync.Once
+	fatal     chan struct{} // closed on the session's first rank-fatal failure
+	done      chan struct{} // closed when the session's rank world has exited
+
+	mu         sync.Mutex
+	fatalCause []error // rank failures in arrival order
+	runErr     error   // RunOn's result, valid once done is closed
 }
 
 // ServeOptions tunes the request path and failure handling of a serving
@@ -84,24 +124,35 @@ type ServeOptions struct {
 	// deadline limits how long the submitter waits, not how long the
 	// evaluation may run.
 	RecvTimeout time.Duration
-	// MaxBatch caps how many queued prediction requests the dispatcher
-	// fuses into one block-diagonal collective evaluation. <= 1 serves
-	// every request on its own (the default). Only requests with the
-	// same step count coalesce.
+	// MaxBatch caps how many queued prediction requests a session's
+	// dispatcher fuses into one block-diagonal collective evaluation.
+	// <= 1 serves every request on its own (the default). Only requests
+	// with the same step count coalesce.
 	MaxBatch int
-	// BatchWindow is how long the dispatcher holds an admitted request
+	// BatchWindow is how long a dispatcher holds an admitted request
 	// open for co-travelers before dispatching a partial batch. 0 means
 	// a 200µs default when MaxBatch > 1; negative disables the window
 	// (only requests already queued coalesce).
 	BatchWindow time.Duration
-	// QueueDepth bounds the admission queue; a submitter finding it full
-	// blocks (under its own deadline) until the dispatcher drains a
-	// slot. <= 0 means 2*MaxBatch.
+	// QueueDepth bounds each session's admission queue; a submitter
+	// finding it full blocks (under its own deadline) until the
+	// dispatcher drains a slot. <= 0 means 2*MaxBatch.
 	QueueDepth int
+	// Sessions is the number of independent serving sessions behind the
+	// front door — S full collective groups referencing one compiled
+	// engine core, with requests routed to the least-loaded live session.
+	// <= 1 means a single session (the pre-session behavior, exactly).
+	Sessions int
 	// WrapTransport interposes on every rank's transport endpoint before
-	// serving starts — the fault-injection hook (FaultPlan.Wrap) and any
-	// future interposer. nil serves on the bare fabric.
+	// serving starts — the fault-injection hook (FaultPlan.Wrap), the
+	// link-latency emulator (comm.LinkDelay), and any future interposer.
+	// Applied to every session's fabric; nil serves on the bare fabric.
 	WrapTransport func(Transport) Transport
+	// WrapSession, when non-nil, supplies the transport interposer per
+	// session instead of WrapTransport — how a fault plan targets ONE
+	// session's fabric while its siblings serve untouched. Returning nil
+	// for a session serves it on the bare fabric.
+	WrapSession func(session int) func(Transport) Transport
 }
 
 // defaultServeRecvTimeout bounds collective receives on serving ranks
@@ -291,16 +342,17 @@ func (s *System) Serve(kind TransportKind, mode ExchangeMode, model *Model) (*Se
 }
 
 // ServeWith starts persistent serving ranks over the given transport and
-// exchange mode. The model's parameters are snapshotted before ServeWith
-// returns and each rank compiles a forward-only Inference engine from
-// its own copy, so the caller's model stays free for further training —
-// the server keeps serving the parameters as of the ServeWith call.
-// Supported transports are InProcess and Sockets (goroutine ranks —
-// request matrices cross no process boundary); Processes ranks cannot
-// receive in-memory requests, so drive the engine directly inside RunOn
-// for that case (as cmd/serve -procs does).
+// exchange mode. The model's parameters are snapshotted and compiled ONCE
+// before ServeWith returns — one immutable engine core (parameter twins,
+// pre-packed weight panels, static-edge cache) referenced by every rank
+// of every session — so the caller's model stays free for further
+// training and S sessions cost one compile. Supported transports are
+// InProcess and Sockets (goroutine ranks — request matrices cross no
+// process boundary); Processes ranks cannot receive in-memory requests,
+// so drive the engine directly inside RunOn for that case (as cmd/serve
+// -procs does).
 //
-// Close the server to release the rank goroutines.
+// Close the server to release the rank goroutines of every session.
 func (s *System) ServeWith(kind TransportKind, mode ExchangeMode, model *Model, opts ServeOptions) (*Server, error) {
 	if kind == Processes {
 		return nil, fmt.Errorf("meshgnn: Serve needs in-memory requests; run the engine inside RunOn for process ranks")
@@ -326,6 +378,10 @@ func (s *System) ServeWith(kind TransportKind, mode ExchangeMode, model *Model, 
 	if depth <= 0 {
 		depth = 2 * maxBatch
 	}
+	nsess := opts.Sessions
+	if nsess < 1 {
+		nsess = 1
+	}
 	srv := &Server{
 		sys:        s,
 		ranks:      s.Ranks,
@@ -335,58 +391,126 @@ func (s *System) ServeWith(kind TransportKind, mode ExchangeMode, model *Model, 
 		recvTime:   opts.recvTimeout(),
 		maxBatch:   maxBatch,
 		window:     window,
-		queue:      make(chan *serveReq, depth),
-		dispDone:   make(chan struct{}),
-		batches:    make([]chan *serveBatch, s.Ranks),
-		fatal:      make(chan struct{}),
-		done:       make(chan struct{}),
+		snapshot:   snapshot,
+		cfg:        model.Config,
 	}
-	for i := range srv.batches {
-		srv.batches[i] = make(chan *serveBatch)
+	// Compile the shared core once: an immutable model copy holding the
+	// snapshot, compiled into one engine whose Session views every rank
+	// of every session serves from. Models without a shareable core
+	// (Float32 twin, attention fallback) leave core nil and each rank
+	// compiles privately — same results, S compiles.
+	coreMdl, err := gnn.NewModel(model.Config)
+	if err != nil {
+		return nil, err
 	}
-	go srv.dispatch()
-	go func() {
-		err := s.RunOnWith(kind, mode, opts.WrapTransport, func(r *Rank) error {
-			// Any rank-side error — engine setup or a failed request —
-			// trips the fatal latch the moment the rank exits, so pending
-			// and future submitters stop waiting on a shrinking world.
-			if err := srv.serveRank(r, snapshot, model.Config); err != nil {
-				srv.noteFatal(err)
-				return err
-			}
-			return nil
-		})
-		srv.mu.Lock()
-		srv.runErr = err
-		srv.mu.Unlock()
-		if err != nil {
-			srv.noteFatal(err)
+	for i, p := range coreMdl.Params() {
+		copy(p.W.Data, snapshot[i])
+		p.Bump()
+	}
+	core, err := gnn.NewInference(coreMdl)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Session(); err == nil {
+		srv.core = core
+	}
+	for i := 0; i < nsess; i++ {
+		ses := &serveSession{
+			srv:      srv,
+			id:       i,
+			queue:    make(chan *serveReq, depth),
+			dispDone: make(chan struct{}),
+			batches:  make([]chan *serveBatch, s.Ranks),
+			fatal:    make(chan struct{}),
+			done:     make(chan struct{}),
 		}
-		close(srv.done)
-	}()
+		for r := range ses.batches {
+			ses.batches[r] = make(chan *serveBatch)
+		}
+		srv.sessions = append(srv.sessions, ses)
+	}
+	for _, ses := range srv.sessions {
+		wrap := opts.WrapTransport
+		if opts.WrapSession != nil {
+			wrap = opts.WrapSession(ses.id)
+		}
+		go ses.dispatch()
+		go ses.run(kind, mode, wrap)
+	}
 	return srv, nil
 }
 
-// noteFatal records a rank-side failure and trips the fatal latch. The
-// first recorded cause is what submitters blocked on the latch see; the
-// full list feeds the terminal root-cause preference.
-func (srv *Server) noteFatal(err error) {
-	srv.mu.Lock()
-	srv.fatalCause = append(srv.fatalCause, err)
-	srv.mu.Unlock()
-	srv.fatalOnce.Do(func() { close(srv.fatal) })
+// engine produces one rank's serving engine: a cheap Session view of the
+// shared compiled core when one exists, else a private compile from the
+// parameter snapshot.
+func (srv *Server) engine() (*gnn.Inference, error) {
+	if srv.core != nil {
+		return srv.core.Session()
+	}
+	mdl, err := gnn.NewModel(srv.cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range mdl.Params() {
+		copy(p.W.Data, srv.snapshot[i])
+		p.Bump()
+	}
+	return gnn.NewInference(mdl)
 }
 
-// dispatch is the admission loop: it pulls requests off the queue,
-// coalesces compatible neighbors into batches up to MaxBatch within the
-// batching window, and fans each batch out to every rank in a single
-// consistent order — the collective serialization the evaluation needs.
-// It exits when the queue closes, dispatching whatever a pending window
-// holds so Close always drains admitted requests.
-func (srv *Server) dispatch() {
-	defer close(srv.dispDone)
+// run hosts the session's rank world until it exits, recording the
+// result and latching the session fatal on failure.
+func (ses *serveSession) run(kind TransportKind, mode ExchangeMode, wrap func(Transport) Transport) {
+	err := ses.srv.sys.RunOnWith(kind, mode, wrap, func(r *Rank) error {
+		// Any rank-side error — engine setup or a failed request — trips
+		// the session's fatal latch the moment the rank exits, so pending
+		// and future submitters stop waiting on a shrinking world.
+		if err := ses.serveRank(r); err != nil {
+			ses.noteFatal(err)
+			return err
+		}
+		return nil
+	})
+	ses.mu.Lock()
+	ses.runErr = err
+	ses.mu.Unlock()
+	if err != nil {
+		ses.noteFatal(err)
+	}
+	close(ses.done)
+}
+
+// noteFatal records a rank-side failure and trips the session's fatal
+// latch. The first recorded cause is what submitters blocked on the latch
+// see; the full list feeds the terminal root-cause preference.
+func (ses *serveSession) noteFatal(err error) {
+	ses.mu.Lock()
+	ses.fatalCause = append(ses.fatalCause, err)
+	ses.mu.Unlock()
+	ses.fatalOnce.Do(func() { close(ses.fatal) })
+}
+
+// alive reports whether the session's fatal latch is still open.
+func (ses *serveSession) alive() bool {
+	select {
+	case <-ses.fatal:
+		return false
+	default:
+		return true
+	}
+}
+
+// dispatch is a session's admission loop: it pulls requests off the
+// session queue, coalesces compatible neighbors into batches up to
+// MaxBatch within the batching window, and fans each batch out to every
+// rank in a single consistent order — the collective serialization the
+// evaluation needs. It exits when the queue closes, dispatching whatever
+// a pending window holds so Close always drains admitted requests.
+func (ses *serveSession) dispatch() {
+	srv := ses.srv
+	defer close(ses.dispDone)
 	defer func() {
-		for _, ch := range srv.batches {
+		for _, ch := range ses.batches {
 			close(ch)
 		}
 	}()
@@ -397,7 +521,7 @@ func (srv *Server) dispatch() {
 		if held != nil {
 			first, held = held, nil
 		} else {
-			req, ok := <-srv.queue
+			req, ok := <-ses.queue
 			if !ok {
 				return
 			}
@@ -415,7 +539,7 @@ func (srv *Server) dispatch() {
 			for len(b.members) < srv.maxBatch {
 				if timerC != nil {
 					select {
-					case req, ok := <-srv.queue:
+					case req, ok := <-ses.queue:
 						if !ok {
 							open = false
 							break fill
@@ -430,7 +554,7 @@ func (srv *Server) dispatch() {
 					}
 				} else {
 					select {
-					case req, ok := <-srv.queue:
+					case req, ok := <-ses.queue:
 						if !ok {
 							open = false
 							break fill
@@ -449,46 +573,41 @@ func (srv *Server) dispatch() {
 				putTimer(timer)
 			}
 		}
-		srv.deliver(b)
+		ses.deliver(b)
 	}
 }
 
-// deliver fans a batch out to every rank. The rank channels are
-// unbuffered, so delivery blocks until the previous evaluation was picked
-// up; the fatal latch unblocks a delivery to a dead world (ranks that
-// already took the batch finish every member slot, and submitters of the
-// rest unblock through the latch — the partial fan-out is harmless).
-func (srv *Server) deliver(b *serveBatch) {
-	for _, ch := range srv.batches {
+// deliver fans a batch out to every rank of the session. The rank
+// channels are unbuffered, so delivery blocks until the previous
+// evaluation was picked up; the fatal latch unblocks a delivery to a dead
+// world (ranks that already took the batch finish every member slot, and
+// submitters of the rest unblock through the latch — the partial fan-out
+// is harmless).
+func (ses *serveSession) deliver(b *serveBatch) {
+	for _, ch := range ses.batches {
 		select {
 		case ch <- b:
-		case <-srv.fatal:
+		case <-ses.fatal:
 			return
 		}
 	}
 }
 
-// serveRank is one rank's serving loop: compile the engine from the
-// parameter snapshot, then evaluate dispatched batches until the channel
-// closes or an evaluation fails. A failed evaluation is terminal for the
-// whole server (the collective fabric is desynchronized mid-pattern), but
-// it is caught per request: the error lands on every batch member and in
-// the server's fatal state, never as a crashed process.
-func (srv *Server) serveRank(r *Rank, snapshot [][]float64, cfg Config) error {
-	mdl, err := gnn.NewModel(cfg)
-	if err != nil {
-		return err
-	}
-	for i, p := range mdl.Params() {
-		copy(p.W.Data, snapshot[i])
-	}
-	eng, err := gnn.NewInference(mdl)
+// serveRank is one rank's serving loop: take a session view of the
+// compiled core (or compile privately), then evaluate dispatched batches
+// until the channel closes or an evaluation fails. A failed evaluation is
+// terminal for the session (its collective fabric is desynchronized
+// mid-pattern), but it is caught per request: the error lands on every
+// batch member and in the session's fatal state, never as a crashed
+// process — and sibling sessions keep serving.
+func (ses *serveSession) serveRank(r *Rank) error {
+	eng, err := ses.srv.engine()
 	if err != nil {
 		return err
 	}
 	id := r.ID()
-	for b := range srv.batches[id] {
-		if err := srv.serveBatchOn(r, eng, b); err != nil {
+	for b := range ses.batches[id] {
+		if err := ses.serveBatchOn(r, eng, b); err != nil {
 			return err
 		}
 	}
@@ -501,11 +620,12 @@ func (srv *Server) serveRank(r *Rank, snapshot [][]float64, cfg Config) error {
 // batches run through the engine's block-diagonal entry points; the
 // bitwise contract (PredictBatch ≡ per-sample Predict) keeps results
 // independent of how requests happened to coalesce.
-func (srv *Server) serveBatchOn(r *Rank, eng *gnn.Inference, b *serveBatch) (err error) {
+func (ses *serveSession) serveBatchOn(r *Rank, eng *gnn.Inference, b *serveBatch) (err error) {
+	srv := ses.srv
 	id := r.ID()
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("meshgnn: serving rank %d: %w", id, comm.PanicError(p))
+			err = fmt.Errorf("meshgnn: serving rank %d (session %d): %w", id, ses.id, comm.PanicError(p))
 		}
 		for _, req := range b.members {
 			req.finish(id, err)
@@ -540,14 +660,50 @@ func (srv *Server) serveBatchOn(r *Rank, eng *gnn.Inference, b *serveBatch) (err
 	return nil
 }
 
-// Ranks returns the number of serving ranks; Predict and Rollout take one
-// snapshot per rank.
+// Ranks returns the number of serving ranks per session; Predict and
+// Rollout take one snapshot per rank.
 func (srv *Server) Ranks() int { return srv.ranks }
+
+// Sessions returns the number of serving sessions behind the front door.
+func (srv *Server) Sessions() int { return len(srv.sessions) }
+
+// LiveSessions returns how many sessions are still serving — the
+// server's current capacity in concurrent collective evaluations. It
+// shrinks as sessions latch fatal; at zero every submission returns the
+// terminal error.
+func (srv *Server) LiveSessions() int {
+	n := 0
+	for _, ses := range srv.sessions {
+		if ses.alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// pickSession routes a request to the least-loaded live session (fewest
+// admitted-but-unresolved requests, first session winning ties). nil
+// means every session has failed.
+func (srv *Server) pickSession() *serveSession {
+	var best *serveSession
+	var bestLoad int64
+	for _, ses := range srv.sessions {
+		if !ses.alive() {
+			continue
+		}
+		load := ses.inflight.Load()
+		if best == nil || load < bestLoad {
+			best, bestLoad = ses, load
+		}
+	}
+	return best
+}
 
 // Predict submits one node-feature snapshot per rank (inputs[r] is rank
 // r's NumLocal×InputNodeFeatures matrix) and returns the per-rank
-// predictions. The evaluation is collective; the call blocks until every
-// rank finished, bounded by ServeOptions.RequestTimeout if one was set.
+// predictions. The evaluation is collective within one session; the call
+// blocks until every rank finished, bounded by ServeOptions.RequestTimeout
+// if one was set.
 func (srv *Server) Predict(inputs []*Matrix) ([]*Matrix, error) {
 	return srv.PredictTimeout(inputs, srv.reqTimeout)
 }
@@ -582,11 +738,15 @@ func (srv *Server) RolloutTimeout(inputs []*Matrix, steps int, d time.Duration) 
 	return trajs, err
 }
 
-// submit validates the snapshots, admits the request to the dispatch
-// queue, and waits for the collective evaluation under the deadline.
-// steps > 0 requests a rollout of steps autoregressive applications; 0 a
-// single prediction. The returned slices are fresh copies — the pooled
-// request scaffolding never escapes.
+// submit validates the snapshots, routes the request to the least-loaded
+// live session, admits it to that session's dispatch queue, and waits for
+// the collective evaluation under the deadline. A session that dies
+// before admitting the request costs a re-route to a sibling, not a
+// failure; a session that dies holding the request fails it with that
+// session's root cause while siblings keep serving. steps > 0 requests a
+// rollout of steps autoregressive applications; 0 a single prediction.
+// The returned slices are fresh copies — the pooled request scaffolding
+// never escapes.
 func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tensor.Matrix, [][]*tensor.Matrix, error) {
 	if len(inputs) != srv.ranks {
 		return nil, nil, fmt.Errorf("meshgnn: %d snapshots for %d serving ranks", len(inputs), srv.ranks)
@@ -603,21 +763,6 @@ func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tens
 				r, x.Rows, x.Cols, want, srv.in)
 		}
 	}
-	// Registering with subWG under the lock orders every admission
-	// attempt against Close: a submitter that saw the server open holds
-	// the queue alive until its enqueue resolves.
-	srv.mu.Lock()
-	if srv.closed {
-		err := srv.err
-		srv.mu.Unlock()
-		if err == nil {
-			err = fmt.Errorf("meshgnn: server is closed")
-		}
-		return nil, nil, err
-	}
-	srv.subWG.Add(1)
-	srv.mu.Unlock()
-
 	req := srv.getReq()
 	copy(req.inputs, inputs)
 	req.steps = steps
@@ -628,25 +773,62 @@ func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tens
 		timer = getTimer(d)
 		timerC = timer.C
 	}
-	enqueued, timedOut := false, false
-	select {
-	case srv.queue <- req:
-		enqueued = true
-	case <-srv.fatal:
-	case <-timerC:
-		timedOut = true
-	}
-	srv.subWG.Done()
-	if !enqueued {
-		if timer != nil {
-			putTimer(timer)
+	// Admission: pick a live session and enqueue. A session latching
+	// fatal mid-enqueue re-routes the request to a sibling — each retry
+	// excludes the session just observed dead, so the loop ends within
+	// Sessions attempts (or when every session has failed).
+	var ses *serveSession
+	for {
+		ses = srv.pickSession()
+		if ses == nil {
+			if timer != nil {
+				putTimer(timer)
+			}
+			req.release(2)
+			return nil, nil, srv.terminalError()
 		}
-		// No rank ever saw this request; both references come back.
-		req.release(2)
+		// Registering with subWG under the lock orders every admission
+		// attempt against Close: a submitter that saw the server open
+		// holds the session queue alive until its enqueue resolves.
+		srv.mu.Lock()
+		if srv.closed {
+			err := srv.err
+			srv.mu.Unlock()
+			if timer != nil {
+				putTimer(timer)
+			}
+			req.release(2)
+			if err == nil {
+				err = fmt.Errorf("meshgnn: server is closed")
+			}
+			return nil, nil, err
+		}
+		ses.subWG.Add(1)
+		srv.mu.Unlock()
+		ses.inflight.Add(1)
+
+		enqueued, timedOut := false, false
+		select {
+		case ses.queue <- req:
+			enqueued = true
+		case <-ses.fatal:
+		case <-timerC:
+			timedOut = true
+		}
+		ses.subWG.Done()
+		if enqueued {
+			break
+		}
+		ses.inflight.Add(-1)
 		if timedOut {
+			if timer != nil {
+				putTimer(timer)
+			}
+			// No rank ever saw this request; both references come back.
+			req.release(2)
 			return nil, nil, fmt.Errorf("meshgnn: request %w after %v (admission queue full)", comm.ErrTimeout, d)
 		}
-		return nil, nil, srv.terminalError()
+		// The chosen session died before admission; re-route.
 	}
 
 	completed := false
@@ -654,7 +836,7 @@ func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tens
 	case <-req.done:
 		completed = true
 	case <-timerC:
-	case <-srv.fatal:
+	case <-ses.fatal:
 		// The latch may race an already-complete request; prefer its
 		// answer when it has one.
 		select {
@@ -663,6 +845,7 @@ func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tens
 		default:
 		}
 	}
+	ses.inflight.Add(-1)
 	if timer != nil {
 		putTimer(timer)
 	}
@@ -670,12 +853,10 @@ func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tens
 		// Walk away: the ranks still hold their reference and keep
 		// writing into this (now orphaned) request; it is recycled only
 		// after they finish, so no later request can observe the late
-		// results. Prefer naming a dead world over a bare deadline.
+		// results. Prefer naming a dead session over a bare deadline.
 		req.release(1)
-		select {
-		case <-srv.fatal:
-			return nil, nil, srv.terminalError()
-		default:
+		if !ses.alive() {
+			return nil, nil, ses.terminalError()
 		}
 		return nil, nil, fmt.Errorf("meshgnn: request %w after %v", comm.ErrTimeout, d)
 	}
@@ -696,12 +877,33 @@ func (srv *Server) submit(inputs []*Matrix, steps int, d time.Duration) ([]*tens
 	return outs, trajs, nil
 }
 
-// terminalError names the server's fatal state, preferring a root cause
-// over secondary timeouts.
+// terminalError names a failed session's state, preferring a root cause
+// over secondary timeouts. Single-session servers report as the whole
+// server failing (there is no capacity left); multi-session servers name
+// the session, since siblings may still be serving.
+func (ses *serveSession) terminalError() error {
+	ses.mu.Lock()
+	cause := rootCause(ses.fatalCause)
+	ses.mu.Unlock()
+	if cause == nil {
+		cause = fmt.Errorf("meshgnn: serving ranks exited")
+	}
+	if len(ses.srv.sessions) == 1 {
+		return fmt.Errorf("meshgnn: server failed: %w", cause)
+	}
+	return fmt.Errorf("meshgnn: serving session %d failed: %w", ses.id, cause)
+}
+
+// terminalError names the server's fatal state — every session has
+// failed — preferring a root cause over secondary timeouts.
 func (srv *Server) terminalError() error {
-	srv.mu.Lock()
-	cause := rootCause(srv.fatalCause)
-	srv.mu.Unlock()
+	var causes []error
+	for _, ses := range srv.sessions {
+		ses.mu.Lock()
+		causes = append(causes, ses.fatalCause...)
+		ses.mu.Unlock()
+	}
+	cause := rootCause(causes)
 	if cause == nil {
 		cause = fmt.Errorf("meshgnn: serving ranks exited")
 	}
@@ -729,24 +931,30 @@ func rootCause(errs []error) error {
 	return first
 }
 
-// Close shuts the serving ranks down and returns their collective error
-// (nil for a clean shutdown). Admitted requests are drained first — a
-// request sitting in the queue or a pending batching window is dispatched
-// and its ranks finish or fail it before they exit, so its submitter
-// always gets an answer. Close is idempotent and safe to race with
-// submitters: it returns the same terminal error to every caller.
+// Close shuts every session's serving ranks down and returns their
+// collective error (nil for a clean shutdown). Admitted requests are
+// drained first — a request sitting in a session queue or a pending
+// batching window is dispatched and its ranks finish or fail it before
+// they exit, so its submitter always gets an answer. Sessions drain
+// independently and deterministically; Close is idempotent and safe to
+// race with submitters: it returns the same terminal error to every
+// caller.
 func (srv *Server) Close() error {
 	srv.mu.Lock()
 	srv.closed = true
 	srv.mu.Unlock()
 	srv.closeOnce.Do(func() {
 		// Every admission attempt that saw the server open resolves
-		// before the queue closes, so close can never race an enqueue.
-		srv.subWG.Wait()
-		close(srv.queue)
+		// before the queues close, so close can never race an enqueue.
+		for _, ses := range srv.sessions {
+			ses.subWG.Wait()
+			close(ses.queue)
+		}
 	})
-	<-srv.dispDone
-	<-srv.done
+	for _, ses := range srv.sessions {
+		<-ses.dispDone
+		<-ses.done
+	}
 
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
@@ -754,10 +962,20 @@ func (srv *Server) Close() error {
 		// Prefer the recorded root cause over RunOn's rank-ordered first
 		// error: when one rank dies, lower-numbered peers usually exit
 		// first with secondary timeouts.
-		if cause := rootCause(srv.fatalCause); cause != nil {
+		var causes []error
+		var runErr error
+		for _, ses := range srv.sessions {
+			ses.mu.Lock()
+			causes = append(causes, ses.fatalCause...)
+			if runErr == nil && ses.runErr != nil {
+				runErr = ses.runErr
+			}
+			ses.mu.Unlock()
+		}
+		if cause := rootCause(causes); cause != nil {
 			srv.err = fmt.Errorf("meshgnn: server failed: %w", cause)
 		} else {
-			srv.err = srv.runErr
+			srv.err = runErr
 		}
 	}
 	return srv.err
