@@ -13,8 +13,11 @@
 // fabric), measures the concurrent serving tier (S independent serving
 // sessions over one immutable compiled engine on a link-delay-emulated
 // socket fabric: saturation throughput, tail latency under load, and the
-// session-scaling efficiency the ratchet gates), and writes a
-// machine-readable JSON report (BENCH_PR9.json by default) so the
+// session-scaling efficiency the ratchet gates), measures the batched
+// training tier (row-block StepBatch vs sequential Steps on a multi-rank
+// socket fabric: per-sample amortization of the AllReduce, optimizer, and
+// pack-invalidation overheads at bitwise-unchanged gradients), and writes
+// a machine-readable JSON report (BENCH_PR10.json by default) so the
 // performance trajectory is tracked across PRs.
 //
 // Requested sweep thread counts beyond runtime.NumCPU() are clamped (and
@@ -26,7 +29,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # full shapes, BENCH_PR9.json
+//	go run ./cmd/bench                 # full shapes, BENCH_PR10.json
 //	go run ./cmd/bench -quick          # CI-sized shapes, 1 iteration
 //	go run ./cmd/bench -oversubscribe  # sweep past NumCPU anyway
 //	go run ./cmd/bench -baseline <ns>  # also report speedup vs a recorded
@@ -112,11 +115,32 @@ type BatchedServingPoint struct {
 	Mode             string  `json:"mode"`
 	Batch            int     `json:"batch"`
 	Rounds           int     `json:"rounds"`
+	LinkDelayUs      float64 `json:"link_delay_us"`
 	NsPerReq         float64 `json:"ns_per_req"`
 	ThroughputReqSec float64 `json:"throughput_req_per_sec"`
 	// AmortizationVsB1 is NsPerReq(B=1) / NsPerReq(B): how much cheaper a
 	// request gets by riding a fused batch. The B=8 entry carries the
 	// ratcheted floor.
+	AmortizationVsB1 float64 `json:"amortization_vs_b1"`
+}
+
+// BatchedTrainingPoint is one row-block batched-training measurement: B
+// same-mesh samples stacked through one fused StepBatch against the same
+// fabric training them with B sequential Steps. The accumulated gradient
+// is bitwise-equal either way (the StepBatch oracle sweep asserts it), so
+// the per-sample amortization — one gradient AllReduce, one optimizer
+// step, one pack-cache invalidation per B samples instead of per sample —
+// is the only axis.
+type BatchedTrainingPoint struct {
+	Ranks       int     `json:"ranks"`
+	Mode        string  `json:"mode"`
+	Batch       int     `json:"batch"`
+	Steps       int     `json:"steps"`
+	NsPerSample float64 `json:"ns_per_sample"`
+	// AmortizationVsB1 is NsPerSample(B=1) / NsPerSample(B): how much
+	// cheaper one training sample gets by riding a row-block batch. The
+	// B=8 entry carries the ratcheted floor (cmd/ratchet
+	// -train-batch-amort).
 	AmortizationVsB1 float64 `json:"amortization_vs_b1"`
 }
 
@@ -156,7 +180,7 @@ type ConcurrentServingPoint struct {
 	BitwiseEqual bool `json:"bitwise_equal"`
 }
 
-// Report is the schema of the bench report (BENCH_PR9.json).
+// Report is the schema of the bench report (BENCH_PR10.json).
 type Report struct {
 	GeneratedBy string `json:"generated_by"`
 	Quick       bool   `json:"quick"`
@@ -184,6 +208,12 @@ type Report struct {
 	// fused dispatch amortize the per-request overhead.
 	BatchedServing []BatchedServingPoint `json:"batched_serving"`
 
+	// BatchedTraining holds the row-block batched-training tier: training
+	// cost per sample vs batch size on a multi-rank socket fabric, where
+	// one fused step amortizes the AllReduce, the optimizer, and the pack
+	// invalidation over B samples with bitwise-unchanged gradients.
+	BatchedTraining []BatchedTrainingPoint `json:"batched_training"`
+
 	// ConcurrentServing holds the multi-session serving tier: saturation
 	// throughput and tail latency vs session count over one shared
 	// immutable compiled engine on the link-delay-emulated socket fabric.
@@ -203,7 +233,7 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized shapes and a single timed iteration per benchmark")
-	out := flag.String("o", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR10.json", "output JSON path")
 	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
 	oversub := flag.Bool("oversubscribe", false, "lift the NumCPU clamp on the thread sweep")
 	baseline := flag.Float64("baseline", 0, "pre-optimization train-step ns/op to compute the speedup against")
@@ -218,7 +248,11 @@ func main() {
 	// testing.Benchmark honors the -test.benchtime flag; register the
 	// testing flags so it can be set programmatically.
 	testing.Init()
-	benchtime := "2x"
+	// 6 iterations per kernel: testing.Benchmark reports the mean over N,
+	// and at 2x a single descheduled iteration skewed a committed kernel
+	// number by 20%+ run to run; the tracked kernels cost at most ~1 s/op
+	// so the extra iterations add seconds, not minutes.
+	benchtime := "6x"
 	if *quick {
 		benchtime = "1x"
 	}
@@ -261,6 +295,9 @@ func main() {
 	meshgnn.SetParallelism(0, true)
 
 	measureConcurrentServing(rep, *quick)
+	meshgnn.SetParallelism(0, true)
+
+	measureBatchedTraining(rep, *quick)
 	meshgnn.SetParallelism(0, true)
 
 	checkSteadyStateAllocs(rep, *quick)
@@ -586,15 +623,27 @@ func measureInference(rep *Report, quick bool) {
 // into one fused collective evaluation, against the same fabric serving
 // the same request stream one at a time. The shape is deliberately
 // latency-bound — many ranks over the socket transport with a tiny
-// per-rank graph — because that is the regime batching exists for: the
-// halo message count is batch-invariant, so a fused batch pays one
-// exchange round where B sequential requests pay B. Per-sample results
-// are bitwise-identical either way (the engine's batched-parity sweep
-// asserts it), so throughput is the only axis.
+// per-rank graph, links carrying an emulated wire latency
+// (comm.LinkDelay, the same constant as the concurrent-serving tier) —
+// because that is the regime batching exists for: the halo message
+// count is batch-invariant, so a fused batch pays one exchange round
+// where B sequential requests pay B. Without the emulated delay a
+// single-host fabric is compute-bound and the measured amortization
+// collapses toward the GEMM-sweep saving alone, leaving the committed
+// B=8 floor hostage to scheduler noise. Per-sample results are
+// bitwise-identical either way (the engine's batched-parity sweep
+// asserts it; LinkDelay changes schedules, never data), so throughput
+// is the only axis.
 func measureBatchedServing(rep *Report, quick bool) {
 	meshgnn.SetParallelism(1, true)
 	const ranks, elems, p = 8, 2, 1
-	reqsPerRep, reps := 96, 3
+	const linkDelay = 500 * time.Microsecond
+	// Best-of-7: the amortization ratio divides two best-of-reps minima,
+	// and on an oversubscribed single-core host the per-rep aggregates
+	// drift enough that 3 reps leave the ratio ±0.1x run to run. Seven
+	// reps of ~0.1 s each converge the minima at negligible cost next to
+	// the kernel sweep.
+	reqsPerRep, reps := 96, 7
 	if quick {
 		reqsPerRep, reps = 32, 2
 	}
@@ -615,13 +664,14 @@ func measureBatchedServing(rep *Report, quick bool) {
 	for r := range inputs {
 		inputs[r] = meshgnn.SampleField(f, sys.Locals[r], 0.25)
 	}
-	fmt.Printf("bench: batched serving tier (R=%d sockets, %d nodes/rank, best of %d reps):\n",
-		ranks, inputs[0].Rows, reps)
+	fmt.Printf("bench: batched serving tier (R=%d sockets, %d nodes/rank, %v link delay, best of %d reps):\n",
+		ranks, inputs[0].Rows, linkDelay, reps)
 	var baseNs float64
 	for _, batch := range []int{1, 2, 4, 8} {
 		srv, err := sys.ServeWith(meshgnn.Sockets, meshgnn.NeighborAllToAll, model, meshgnn.ServeOptions{
-			MaxBatch:    batch,
-			BatchWindow: 100 * time.Millisecond,
+			MaxBatch:      batch,
+			BatchWindow:   100 * time.Millisecond,
+			WrapTransport: meshgnn.LinkDelay(linkDelay),
 		})
 		if err != nil {
 			fatal(err)
@@ -670,6 +720,7 @@ func measureBatchedServing(rep *Report, quick bool) {
 		}
 		pt := BatchedServingPoint{
 			Ranks: ranks, Mode: "na2a", Batch: batch, Rounds: bursts * reps,
+			LinkDelayUs:      float64(linkDelay.Microseconds()),
 			NsPerReq:         best,
 			ThroughputReqSec: 1e9 / best,
 			AmortizationVsB1: baseNs / best,
@@ -917,6 +968,89 @@ func measureOverlap(rep *Report, quick bool) {
 	}
 }
 
+// measureBatchedTraining records the row-block batched-training tier: B
+// same-mesh samples through one fused StepBatch on a 4-rank socket fabric
+// with a tiny per-rank graph, against the B=1 baseline (StepBatch
+// delegates B=1 to Step, so the baseline IS the sequential path). The
+// shape is deliberately overhead-bound — small model, small graph, real
+// socket collectives — because that is the regime training batching
+// exists for: the fused step pays one gradient AllReduce, one optimizer
+// step, and one pack-cache invalidation where B sequential steps pay B of
+// each, while the accumulated gradient stays bitwise-equal (asserted by
+// the internal/gnn oracle sweep, not re-measured here).
+func measureBatchedTraining(rep *Report, quick bool) {
+	meshgnn.SetParallelism(1, true)
+	const ranks, elems, p = 4, 2, 1
+	// Best-of-7 for the same reason as the serving tier: the ratio of two
+	// best-of-reps minima needs enough reps to converge on a time-sliced
+	// single-core host.
+	steps, reps := 6, 7
+	if quick {
+		steps, reps = 3, 2
+	}
+	m, err := meshgnn.NewMesh(ranks*elems, elems, elems, p, meshgnn.FullyPeriodic)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := meshgnn.NewSystem(m, ranks, meshgnn.Slabs)
+	if err != nil {
+		fatal(err)
+	}
+	f := meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}
+	fmt.Printf("bench: batched training tier (R=%d sockets, small model, %d fused steps/rep, best of %d reps):\n",
+		ranks, steps, reps)
+	var baseNs float64
+	for _, batch := range []int{1, 2, 4, 8} {
+		var nsPerSample float64
+		err := sys.RunOn(meshgnn.Sockets, meshgnn.NeighborAllToAll, func(r *meshgnn.Rank) error {
+			model, err := meshgnn.NewModel(meshgnn.SmallConfig())
+			if err != nil {
+				return err
+			}
+			trainer := meshgnn.NewTrainer(model, meshgnn.NewSGD(0.01))
+			xs := make([]*meshgnn.Matrix, batch)
+			ts := make([]*meshgnn.Matrix, batch)
+			for b := range xs {
+				xs[b] = r.Sample(f, 0.1*float64(b))
+				ts[b] = r.Sample(f, 0.1*float64(b)+0.05)
+			}
+			trainer.StepBatch(r.Ctx, xs, ts) // bind: record the batched arena
+			trainer.StepBatch(r.Ctx, xs, ts)
+			best := 0.0
+			for rp := 0; rp < reps; rp++ {
+				r.Ctx.Comm.Barrier()
+				start := time.Now()
+				for s := 0; s < steps; s++ {
+					trainer.StepBatch(r.Ctx, xs, ts)
+				}
+				r.Ctx.Comm.Barrier()
+				ns := float64(time.Since(start).Nanoseconds()) / float64(steps*batch)
+				if best == 0 || ns < best {
+					best = ns
+				}
+			}
+			if r.ID() == 0 {
+				nsPerSample = best
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if batch == 1 {
+			baseNs = nsPerSample
+		}
+		pt := BatchedTrainingPoint{
+			Ranks: ranks, Mode: "na2a", Batch: batch, Steps: steps * reps,
+			NsPerSample:      nsPerSample,
+			AmortizationVsB1: baseNs / nsPerSample,
+		}
+		rep.BatchedTraining = append(rep.BatchedTraining, pt)
+		fmt.Printf("  B=%d  %12.0f ns/sample  amortization %.2fx\n",
+			batch, pt.NsPerSample, pt.AmortizationVsB1)
+	}
+}
+
 // withSingleRank builds a single-rank periodic system and runs fn inside
 // its SPMD closure.
 func withSingleRank(b *testing.B, ex, ey, ez, p int, fn func(b *testing.B, r *meshgnn.Rank)) {
@@ -1016,6 +1150,20 @@ func checkSteadyStateAllocs(rep *Report, quick bool) {
 			trainer.Step(r.Ctx, xs, xs)
 		})
 
+		// The row-block batched step holds the same contract: after the
+		// recording pass the fused B-sample step is allocation-free.
+		bxs := make([]*meshgnn.Matrix, 4)
+		bts := make([]*meshgnn.Matrix, 4)
+		for b := range bxs {
+			bxs[b] = r.Sample(meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}, 0.1*float64(b))
+			bts[b] = r.Sample(meshgnn.TaylorGreen{V0: 1, L: 1, Nu: 0.01}, 0.1*float64(b)+0.05)
+		}
+		trainer.StepBatch(r.Ctx, bxs, bts)
+		trainer.StepBatch(r.Ctx, bxs, bts)
+		rep.SteadyStateAllocs["train_step_batched"] = testing.AllocsPerRun(5, func() {
+			trainer.StepBatch(r.Ctx, bxs, bts)
+		})
+
 		eng, err := meshgnn.NewInference(model)
 		if err != nil {
 			return err
@@ -1051,7 +1199,7 @@ func checkSteadyStateAllocs(rep *Report, quick bool) {
 	}
 
 	fmt.Println("bench: steady-state allocs/op:")
-	for _, k := range []string{"mat_mul", "mlp_step", "nmp_step", "train_step", "infer_step", "infer_step_f32"} {
+	for _, k := range []string{"mat_mul", "mlp_step", "nmp_step", "train_step", "train_step_batched", "infer_step", "infer_step_f32"} {
 		fmt.Printf("  %-12s %v\n", k, rep.SteadyStateAllocs[k])
 	}
 }

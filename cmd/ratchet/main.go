@@ -20,13 +20,19 @@
 //     multi-session entry must reach -session-scaling times the S=1
 //     saturation throughput on the link-delay-emulated socket fabric
 //     (default 2.5x; pass 0 to skip), with every entry's bitwise_equal
-//     flag set — throughput bought by numeric divergence doesn't count.
+//     flag set — throughput bought by numeric divergence doesn't count,
+//     and
+//   - the batched training tier, when present in the new report, must
+//     amortize: the B=8 row-block StepBatch entry's amortization_vs_b1
+//     (per-sample cost vs B=1 sequential steps, gradients bitwise-equal
+//     by construction) must reach -train-batch-amort (default 1.3x; pass
+//     0 to skip).
 //
 // Per kernel the best (minimum) ns/op across the thread sweep is
 // compared, so reports swept at different thread counts remain
 // comparable. CI runs it over the committed reports:
 //
-//	go run ./cmd/ratchet -old BENCH_PR8.json -new BENCH_PR9.json
+//	go run ./cmd/ratchet -old BENCH_PR9.json -new BENCH_PR10.json
 package main
 
 import (
@@ -46,6 +52,10 @@ type report struct {
 		Batch            int     `json:"batch"`
 		AmortizationVsB1 float64 `json:"amortization_vs_b1"`
 	} `json:"batched_serving"`
+	BatchedTraining []struct {
+		Batch            int     `json:"batch"`
+		AmortizationVsB1 float64 `json:"amortization_vs_b1"`
+	} `json:"batched_training"`
 	ConcurrentServing []struct {
 		Sessions     int     `json:"sessions"`
 		ScalingVsS1  float64 `json:"scaling_vs_s1"`
@@ -81,13 +91,14 @@ func load(path string) (*report, error) {
 }
 
 func main() {
-	oldPath := flag.String("old", "BENCH_PR8.json", "baseline bench report")
-	newPath := flag.String("new", "BENCH_PR9.json", "candidate bench report")
+	oldPath := flag.String("old", "BENCH_PR9.json", "baseline bench report")
+	newPath := flag.String("new", "BENCH_PR10.json", "candidate bench report")
 	matmulRatio := flag.Float64("matmul-ratio", 1.3, "required old/new speedup on mat_mul")
 	inferRatio := flag.Float64("infer-ratio", 1.0, "required old/new speedup on infer_step (below 1.0 tolerates cross-hardware noise)")
 	f32Ratio := flag.Float64("f32-ratio", 1.2, "required infer_step/infer_step_f32 speedup within the new report")
 	batchAmort := flag.Float64("batch-amort", 1.5, "required B=8 batched-serving amortization in the new report (0 skips)")
 	sessionScaling := flag.Float64("session-scaling", 2.5, "required S=4 concurrent-serving throughput scaling vs S=1 in the new report (0 skips)")
+	trainBatchAmort := flag.Float64("train-batch-amort", 1.3, "required B=8 batched-training per-sample amortization in the new report (0 skips)")
 	flag.Parse()
 
 	oldRep, err := load(*oldPath)
@@ -160,6 +171,20 @@ func main() {
 		check("concurrent serving S=4 scaling", scaling, *sessionScaling)
 	} else {
 		fmt.Println("  (session-scaling ratchet skipped)")
+	}
+	if *trainBatchAmort > 0 {
+		amort := 0.0
+		for _, p := range newRep.BatchedTraining {
+			if p.Batch == 8 {
+				amort = p.AmortizationVsB1
+			}
+		}
+		if amort == 0 {
+			fail("no B=8 batched_training entry in the new report (pass -train-batch-amort 0 to skip)")
+		}
+		check("batched training B=8 amort", amort, *trainBatchAmort)
+	} else {
+		fmt.Println("  (batched-training amortization ratchet skipped)")
 	}
 
 	if !ok {

@@ -25,10 +25,20 @@ type LoadgenPoint struct {
 	Sessions       int     `json:"sessions"`
 	OfferedReqSec  float64 `json:"offered_req_per_sec"`
 	AchievedReqSec float64 `json:"achieved_req_per_sec"`
-	Requests       int64   `json:"requests"`
-	// Dropped counts requests that returned an error — in a healthy
-	// overload that is the admission queue refusing within the request
-	// deadline, i.e. graceful load shedding, not a serving fault.
+	// Scheduled counts every arrival the Poisson schedule placed inside
+	// the warmup+measurement window. All of them are launched — the
+	// generator terminates on the schedule clock, not the wall clock, so
+	// late wakeups can never silently discard offered load — and each one
+	// lands in exactly one of Warmup, Requests, or Dropped:
+	// Scheduled == Warmup + Requests + Dropped.
+	Scheduled int64 `json:"scheduled"`
+	// Warmup counts arrivals that started before the warm-up cutoff and
+	// are therefore excluded from the throughput and latency figures.
+	Warmup   int64 `json:"warmup"`
+	Requests int64 `json:"requests"`
+	// Dropped counts measured requests that returned an error — in a
+	// healthy overload that is the admission queue refusing within the
+	// request deadline, i.e. graceful load shedding, not a serving fault.
 	Dropped int64 `json:"dropped"`
 
 	LatencyMeanNs float64 `json:"latency_mean_ns"`
@@ -157,32 +167,40 @@ func offerLoad(srv *meshgnn.Server, inputs []*meshgnn.Matrix, sessions int,
 	rng := rand.New(rand.NewSource(1))
 	rec := experiments.NewLatencyRecorder(experiments.DefaultLatencySamples)
 	var (
-		mu                 sync.Mutex
-		wg                 sync.WaitGroup
-		completed, dropped int64
+		mu                         sync.Mutex
+		wg                         sync.WaitGroup
+		warmup, completed, dropped int64
 	)
 	start := time.Now()
 	recStart := start.Add(lc.warmup)
 	stop := recStart.Add(lc.duration)
 	next := start
-	for {
+	var scheduled int64
+	// Terminate on the *schedule* clock, not the wall clock: an arrival
+	// whose scheduled time falls inside the window is always launched, even
+	// when the sleep wakes late. (Checking time.Now() after sleeping — the
+	// old behavior — silently discarded the tail of the offered schedule
+	// whenever the generator goroutine was delayed, understating load.)
+	for !next.After(stop) {
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		if time.Now().After(stop) {
-			break
-		}
+		scheduled++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
 			_, err := srv.PredictTimeout(inputs, lc.deadline)
 			lat := float64(time.Since(t0).Nanoseconds())
-			if t0.Before(recStart) {
-				return // warm-up discard
-			}
+			// Every launched arrival is accounted under the same lock into
+			// exactly one bucket, so the point-level invariant
+			// Scheduled == Warmup + Requests + Dropped holds exactly.
 			mu.Lock()
 			defer mu.Unlock()
+			if t0.Before(recStart) {
+				warmup++ // warm-up: excluded from throughput and latency
+				return
+			}
 			if err != nil {
 				dropped++
 				return
@@ -195,10 +213,16 @@ func offerLoad(srv *meshgnn.Server, inputs []*meshgnn.Matrix, sessions int,
 		next = next.Add(time.Duration(rng.ExpFloat64() / rate * 1e9))
 	}
 	wg.Wait()
+	if scheduled != warmup+completed+dropped {
+		panic(fmt.Sprintf("loadgen: accounting violated: scheduled %d != warmup %d + requests %d + dropped %d",
+			scheduled, warmup, completed, dropped))
+	}
 	return LoadgenPoint{
 		Sessions:       sessions,
 		OfferedReqSec:  rate,
 		AchievedReqSec: float64(completed) / lc.duration.Seconds(),
+		Scheduled:      scheduled,
+		Warmup:         warmup,
 		Requests:       completed,
 		Dropped:        dropped,
 		LatencyMeanNs:  rec.Mean(),

@@ -16,7 +16,7 @@
 // Usage:
 //
 //	train [-elems 8] [-p 2] [-ranks 8 | -procs 8] [-mode na2a] [-model small]
-//	      [-field tgv] [-iters 100] [-lr 1e-3] [-verify]
+//	      [-field tgv] [-iters 100] [-lr 1e-3] [-train-batch 1] [-verify]
 package main
 
 import (
@@ -53,11 +53,18 @@ func main() {
 		threads  = flag.Int("threads", 0, "intra-rank worker threads per kernel (0 = GOMAXPROCS, 1 = serial)")
 		det      = flag.Bool("deterministic", true, "fixed-schedule reductions: results bitwise-identical for any -threads")
 		overlap  = flag.Bool("overlap", false, "phased NMP pipeline: overlap halo communication with interior compute (bitwise-identical results; no-op with -attention)")
+		batchSz  = flag.Int("train-batch", 1, "samples per optimizer step, stacked as row blocks (gradient bitwise-equal to sequential accumulation; requires NMP)")
 	)
 	flag.Parse()
 
 	if *threads < 0 {
 		log.Fatalf("-threads must be >= 0, got %d", *threads)
+	}
+	if *batchSz < 0 {
+		log.Fatalf("-train-batch must be >= 0, got %d", *batchSz)
+	}
+	if *attn && *batchSz > 1 {
+		log.Fatal("-train-batch > 1 requires the NMP processor (drop -attention)")
 	}
 	if *procs < 0 {
 		log.Fatalf("-procs must be >= 0, got %d", *procs)
@@ -88,6 +95,7 @@ func main() {
 	}
 	cfg.Attention = *attn
 	cfg.Overlap = *overlap
+	cfg.TrainBatch = *batchSz
 	// Parallelism is configured once, above, via SetParallelism; the
 	// Config knob stays zero so model construction (and checkpoint
 	// loading) cannot re-apply a second, divergent setting.
@@ -111,6 +119,9 @@ func main() {
 	}
 	say("mesh %d^3 elements p=%d (%d nodes), %d ranks (%s transport), %s exchange (%s), %s model (%d params), %d intra-rank threads\n",
 		*elems, *p, m.NumNodes(), nRanks, transport, mode, overlapLabel, cfg.Name, cfg.ParamCount(), effThreads)
+	if *batchSz > 1 {
+		say("batched training: B=%d time-shifted samples per optimizer step (row-block accumulation)\n", *batchSz)
+	}
 
 	if *verify && !worker {
 		diff, err := meshgnn.VerifyConsistency(sys, cfg, mode, f, *t0)
@@ -150,9 +161,28 @@ func main() {
 			return err
 		}
 		trainer := meshgnn.NewTrainer(mdl, meshgnn.NewAdam(*lr))
+		if *batchSz > 1 {
+			// Checkpoint-loaded models carry the checkpoint's Config; the
+			// flag, not the checkpoint, decides the batching.
+			trainer.Batch = *batchSz
+		}
 		tm := trainer.EnableTiming()
 		var ds meshgnn.Dataset
-		ds.Add(r.Sample(f, *t0), r.Sample(f, *t1))
+		// With -train-batch B the dataset holds B time-shifted snapshot
+		// pairs so a full epoch is one row-block stacked optimizer step.
+		// B=1 reproduces the original single-pair dataset exactly.
+		nSamples := *batchSz
+		if nSamples < 1 {
+			nSamples = 1
+		}
+		shift := *t1 - *t0
+		if shift == 0 {
+			shift = 0.05 // autoencoding runs still need distinct samples
+		}
+		for b := 0; b < nSamples; b++ {
+			d := float64(b) * shift
+			ds.Add(r.Sample(f, *t0+d), r.Sample(f, *t1+d))
+		}
 		epochLosses := trainer.Fit(r.Ctx, &ds, meshgnn.FitOptions{
 			Epochs:      *iters,
 			ShuffleSeed: 1,

@@ -6,6 +6,7 @@
 package cmdtest
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -268,6 +269,51 @@ func TestServeWritesPoint(t *testing.T) {
 	for _, want := range []string{"infer_ns_per_step", "train_forward_ns_per_step", "parity_diff_bits"} {
 		if !strings.Contains(string(data), want) {
 			t.Fatalf("serving point missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestServeLoadgenAccounting runs the open-loop load generator and checks
+// its shedding arithmetic is exact: every point must report a non-empty
+// Poisson schedule with Scheduled == Warmup + Requests + Dropped — the
+// generator may never silently discard offered arrivals (the bug this
+// pins: terminating on the wall clock after a late sleep wake-up dropped
+// the tail of the schedule without accounting for it).
+func TestServeLoadgenAccounting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loadgen.json")
+	out := runCmd(t, "serve", "-loadgen", "-elems", "2", "-p", "1", "-ranks", "1",
+		"-sessions", "1", "-rates", "100,400", "-loaddur", "400ms",
+		"-warmup", "100ms", "-deadline", "1s", "-linkdelay", "0", "-o", path)
+	if !strings.Contains(out, "report written") {
+		t.Fatalf("no loadgen report confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Points []struct {
+			OfferedReqSec float64 `json:"offered_req_per_sec"`
+			Scheduled     int64   `json:"scheduled"`
+			Warmup        int64   `json:"warmup"`
+			Requests      int64   `json:"requests"`
+			Dropped       int64   `json:"dropped"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parsing loadgen report: %v\n%s", err, data)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("expected 2 loadgen points, got %d:\n%s", len(rep.Points), data)
+	}
+	for _, pt := range rep.Points {
+		if pt.Scheduled <= 0 {
+			t.Errorf("rate %v: empty Poisson schedule (scheduled=%d)", pt.OfferedReqSec, pt.Scheduled)
+		}
+		if got := pt.Warmup + pt.Requests + pt.Dropped; got != pt.Scheduled {
+			t.Errorf("rate %v: accounting violated: scheduled %d != warmup %d + requests %d + dropped %d",
+				pt.OfferedReqSec, pt.Scheduled, pt.Warmup, pt.Requests, pt.Dropped)
 		}
 	}
 }

@@ -270,6 +270,37 @@ func (e *Exchanger) StartAdjoint(c *Comm, haloGrad, srcGrad *tensor.Matrix) {
 // no output bit.
 func (e *Exchanger) FinishAdjoint(c *Comm) { e.finish(c) }
 
+// AdjointBatched runs the reverse exchange for batch vertically stacked
+// samples in one round of messages: haloGrad is batch row-blocks of halo
+// rows and srcGrad batch row-blocks of local rows. Each neighbor receives
+// a single frame carrying all batch samples' halo-row gradients packed
+// sample-major, and every srcGrad row accumulates its incoming
+// contributions in the same ascending-neighbor order as batch separate
+// Adjoint calls would — sample b's gradient is bitwise that of the
+// unbatched adjoint. batch == 1 is identical to Adjoint.
+func (e *Exchanger) AdjointBatched(c *Comm, haloGrad, srcGrad *tensor.Matrix, batch int) {
+	e.StartAdjointBatched(c, haloGrad, srcGrad, batch)
+	e.FinishAdjointBatched(c)
+}
+
+// StartAdjointBatched posts the batched adjoint exchange (see
+// AdjointBatched); FinishAdjointBatched completes it.
+func (e *Exchanger) StartAdjointBatched(c *Comm, haloGrad, srcGrad *tensor.Matrix, batch int) {
+	if batch < 1 {
+		panic(fmt.Sprintf("comm: batched exchange with batch %d", batch))
+	}
+	if haloGrad.Rows%batch != 0 || srcGrad.Rows%batch != 0 {
+		panic(fmt.Sprintf("comm: batched exchange rows %d/%d not divisible by batch %d",
+			haloGrad.Rows, srcGrad.Rows, batch))
+	}
+	e.start(c, haloGrad, srcGrad, true, batch)
+}
+
+// FinishAdjointBatched waits for the posted batched adjoint receives and
+// scatter-adds each sample block's contributions into srcGrad, ascending
+// neighbor order within each destination row.
+func (e *Exchanger) FinishAdjointBatched(c *Comm) { e.finish(c) }
+
 // pack gathers the rows of a listed in idx into the k-th staging buffer,
 // sample-major: all of sample 0's rows, then sample 1's, each sample
 // offset by stride rows in a.

@@ -340,6 +340,84 @@ func TestPredictBatchSequentialFallback(t *testing.T) {
 	}
 }
 
+// TestPredictBatchOutputLifetimeContract pins the documented double-buffer
+// lifetime: a PredictBatch result stays bitwise-intact through exactly ONE
+// subsequent engine call, consecutive calls hand out distinct backing
+// buffers, and RolloutBatch trajectories (steps >= 3, so the internal
+// buffer flips several times within one call) are independent clones that
+// survive arbitrary later calls.
+func TestPredictBatchOutputLifetimeContract(t *testing.T) {
+	box, err := mesh.NewBox(4, 3, 3, 2, [3]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.NewCartesian(box, 2, partition.Slabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, err := graph.BuildAll(box, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.Run(2, func(c *comm.Comm) error {
+		rc, err := NewRankContext(c, box, locals[c.Rank()], comm.SendRecvMode)
+		if err != nil {
+			return err
+		}
+		model, err := NewModel(tinyConfig())
+		if err != nil {
+			return err
+		}
+		eng, err := NewInference(model)
+		if err != nil {
+			return err
+		}
+		all := batchInputs(rc.Graph, 6)
+		xs1, xs2 := all[:3], all[3:]
+
+		out1 := eng.PredictBatch(rc, xs1)
+		keep := make([]*tensor.Matrix, len(out1))
+		for i, o := range out1 {
+			keep[i] = o.Clone()
+		}
+		out2 := eng.PredictBatch(rc, xs2) // the ONE subsequent call
+		for i := range out1 {
+			if d := bitDiff(keep[i], out1[i]); d != 0 {
+				return fmt.Errorf("sample %d: %d values clobbered by one subsequent call", i, d)
+			}
+			// Distinct backing: the second call must not hand back the
+			// buffer the first call's results still live in.
+			if &out1[i].Data[0] == &out2[i].Data[0] {
+				return fmt.Errorf("sample %d: consecutive PredictBatch calls alias one buffer", i)
+			}
+		}
+
+		// RolloutBatch trajectories are clones: unaffected by any number of
+		// subsequent engine calls (each of its >= 3 internal steps already
+		// recycled the double buffer while the trajectory was accumulating).
+		trajs := eng.RolloutBatch(rc, xs1, 3)
+		ref := make([][]*tensor.Matrix, len(trajs))
+		for i := range trajs {
+			for _, m := range trajs[i] {
+				ref[i] = append(ref[i], m.Clone())
+			}
+		}
+		eng.PredictBatch(rc, xs2)
+		eng.PredictBatch(rc, xs1)
+		for i := range trajs {
+			for s := range trajs[i] {
+				if d := bitDiff(ref[i][s], trajs[i][s]); d != 0 {
+					return fmt.Errorf("trajectory %d step %d: %d values clobbered by later calls", i, s, d)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPredictBatchSteadyStateZeroAlloc gates the batched hot path the
 // same way the unbatched engine is gated: after binding, a PredictBatch
 // allocates nothing.

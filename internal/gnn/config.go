@@ -103,6 +103,14 @@ type Config struct {
 	// Float32 compiles the tolerance-gated single-precision twin).
 	// Training paths ignore it.
 	Precision Precision
+	// TrainBatch, when > 1, trains B same-mesh samples per optimizer step
+	// as row blocks of one stacked matrix (Trainer.StepBatch; Fit groups
+	// epochs accordingly). The accumulated B-sample gradient is
+	// bitwise-equal to B sequential accumulation passes — batching buys
+	// amortization (one AllReduce, one optimizer step, one pack-cache
+	// invalidation per B samples), not different arithmetic. Requires the
+	// NMP processor (no attention). 0 and 1 train per sample.
+	TrainBatch int
 	// NonDeterministic relaxes the engine's fixed-schedule reductions:
 	// chunking may then depend on the thread count, which is marginally
 	// faster but no longer bitwise reproducible across different Threads
@@ -157,6 +165,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gnn: MLPHiddenLayers must be >= 0, got %d", c.MLPHiddenLayers)
 	case c.Threads < 0:
 		return fmt.Errorf("gnn: Threads must be >= 0, got %d", c.Threads)
+	case c.TrainBatch < 0:
+		return fmt.Errorf("gnn: TrainBatch must be >= 0, got %d", c.TrainBatch)
+	}
+	if c.Attention && c.TrainBatch > 1 {
+		return fmt.Errorf("gnn: batched training requires non-attention processors " +
+			"(the attention layer has no row-block backward)")
 	}
 	if c.EdgeMode != EdgeFeatures4 && c.EdgeMode != EdgeFeatures7 {
 		return fmt.Errorf("gnn: unsupported EdgeMode %d", c.EdgeMode)

@@ -1,9 +1,11 @@
 package gnn
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"meshgnn/internal/graph"
 	"meshgnn/internal/nn"
@@ -74,6 +76,17 @@ type Inference struct {
 	// batch is the block-diagonal batched serving state (see batch.go),
 	// created on the first PredictBatch.
 	batch *inferBatch
+
+	// live counts outstanding Session views of this compile (root engines
+	// only): Session increments, Release decrements. Refresh refuses while
+	// any view is live — it would repack the shared panels and empty the
+	// shared static-edge cache under sibling sessions mid-Predict.
+	live atomic.Int64
+	// root points a Session view at the compile it shares; nil on roots.
+	root *Inference
+	// released marks a view whose Release already ran (owner-goroutine
+	// state, like the rest of the engine).
+	released bool
 }
 
 // inferShared is the explicitly immutable-after-fill portion of a
@@ -180,14 +193,30 @@ func (e *Inference) SetOverlap(on bool) {
 	}
 }
 
+// ErrLiveSessions is returned by Refresh while Session views of the
+// compile are outstanding: refreshing would empty the shared static-edge
+// cache and repack the shared weight panels in place under sibling
+// sessions that may be mid-Predict. Release every view (or close the
+// server holding them) first.
+var ErrLiveSessions = errors.New("gnn: refresh with outstanding session views")
+
 // Refresh invalidates the cached per-(graph, parameters) preprocessing —
 // the static-edge encodings and the pre-packed weight panels. Call it
 // after the source model's parameters change — e.g. between in-situ
-// training bursts — so the next Predict re-binds and re-packs. Refresh
-// must not race concurrent predictions: with Session views sharing this
-// compile, quiesce every session first (the caches and panels they
-// reference are refreshed in place).
-func (e *Inference) Refresh() {
+// training bursts — so the next Predict re-binds and re-packs.
+//
+// Refresh must not race concurrent predictions. The caches and panels a
+// compile shares with its Session views are refreshed in place, so while
+// any view is outstanding Refresh refuses with ErrLiveSessions (and a
+// Session view never refreshes — release it and refresh the root).
+// Release every view, then Refresh succeeds.
+func (e *Inference) Refresh() error {
+	if e.root != nil {
+		return fmt.Errorf("%w: Refresh called on a session view; release it and refresh the root compile", ErrLiveSessions)
+	}
+	if n := e.live.Load(); n != 0 {
+		return fmt.Errorf("%w: %d outstanding", ErrLiveSessions, n)
+	}
 	e.lastGraph = nil
 	e.staticHe = nil
 	if e.shared != nil {
@@ -211,6 +240,7 @@ func (e *Inference) Refresh() {
 		e.batch.lastGraph = nil
 		e.batch.staticHeB = nil
 	}
+	return nil
 }
 
 // Session returns an independent engine over this compile's immutable
@@ -225,9 +255,16 @@ func (e *Inference) Refresh() {
 // twin snapshots its own packed operands (compile one engine per
 // session) and the attention fallback serves through the mutable
 // training layer.
+//
+// A view holds a reference on the compile: Refresh on the root refuses
+// (ErrLiveSessions) until every view is Released.
 func (e *Inference) Session() (*Inference, error) {
 	if e.f32 != nil {
 		return nil, fmt.Errorf("gnn: Float32 engines share no compiled core; compile one engine per session")
+	}
+	root := e
+	if e.root != nil {
+		root = e.root
 	}
 	s := &Inference{
 		Config:  e.Config,
@@ -236,6 +273,7 @@ func (e *Inference) Session() (*Inference, error) {
 		nodeEnc: e.nodeEnc.Session(),
 		edgeEnc: e.edgeEnc.Session(),
 		dec:     e.dec.Session(),
+		root:    root,
 	}
 	for _, p := range e.procs {
 		l, ok := p.(*inferNMP)
@@ -249,7 +287,20 @@ func (e *Inference) Session() (*Inference, error) {
 			overlap:    l.overlap,
 		})
 	}
+	root.live.Add(1)
 	return s, nil
+}
+
+// Release returns a Session view's reference on its compile; after the
+// last view of a compile releases, Refresh on the root succeeds again.
+// Releasing a root engine (or a view twice) is a no-op, so callers can
+// defer Release on whatever engine they serve with.
+func (e *Inference) Release() {
+	if e.root == nil || e.released {
+		return
+	}
+	e.released = true
+	e.root.live.Add(-1)
 }
 
 // WorkspaceFootprint reports the engine's arena storage in float64s — the

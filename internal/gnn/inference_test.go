@@ -489,7 +489,9 @@ func TestInferenceRefreshTracksTraining(t *testing.T) {
 		for i := 0; i < 2; i++ {
 			tr.Step(rc, x, x)
 		}
-		eng.Refresh()
+		if err := eng.Refresh(); err != nil {
+			return err
+		}
 		yWant := model.Forward(rc, x).Clone()
 		yGot := eng.Predict(rc, x)
 		for i := range yWant.Data {

@@ -28,6 +28,13 @@ type ConsistentMSE struct {
 	dy     *tensor.Matrix
 	sumBuf [1]float64
 	rc     *RankContext
+
+	// batched-training state (trainbatch.go): per-sample loss sums are
+	// AllReduced as one vector; lastBatch keys BackwardBatched's row-block
+	// degree indexing.
+	sums      []float64
+	losses    []float64
+	lastBatch int
 }
 
 // Forward returns the consistent loss. y and target are

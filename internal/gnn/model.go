@@ -51,6 +51,13 @@ type Model struct {
 	lastGraph *graph.Local // arena shape signature
 	lastRows  int
 	lastCols  int
+	lastBatch int // 1 for Forward; the stacked B for forwardBatched
+
+	// batched-training state (trainbatch.go): the persistent stacked input
+	// and the batch-tiled static-edge attributes (EdgeFeatures4).
+	xb          *tensor.Matrix
+	staticEdgeB *tensor.Matrix
+	beiT        batchEdgeInputsTask
 }
 
 // ProcessorLayer is the contract shared by the consistent NMP layer and
@@ -153,9 +160,9 @@ func (m *Model) Forward(rc *RankContext, x *tensor.Matrix) *tensor.Matrix {
 	// A new forward pass begins the next workspace epoch: rewind the
 	// arena (replaying the recorded buffers), or re-record from scratch
 	// when the computation changed shape.
-	if rc.Graph != m.lastGraph || x.Rows != m.lastRows || x.Cols != m.lastCols {
+	if rc.Graph != m.lastGraph || x.Rows != m.lastRows || x.Cols != m.lastCols || m.lastBatch != 1 {
 		m.arena.Clear()
-		m.lastGraph, m.lastRows, m.lastCols = rc.Graph, x.Rows, x.Cols
+		m.lastGraph, m.lastRows, m.lastCols, m.lastBatch = rc.Graph, x.Rows, x.Cols, 1
 	}
 	m.arena.Reset()
 	hx := m.NodeEncoder.Forward(x)

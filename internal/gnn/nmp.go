@@ -76,6 +76,17 @@ type NMPLayer struct {
 	hcatT   nmpHCatTask
 	dHaloT  nmpDHaloTask
 	dEOutT  nmpDEOutTask
+
+	// batched-training state (trainbatch.go): the stacked forward/backward
+	// reuse the inference batch tasks plus row-block adjoint tasks.
+	batch    int
+	bEdgeInT batchEdgeInTask
+	bAggT    batchAggTask
+	bAbsorbT batchAbsorbTask
+	bHCatT   batchHCatTask
+	bDHaloT  batchDHaloTask
+	bDEOutT  batchDEOutTask
+	bScatT   batchScatterTask
 }
 
 // edgeGrain bounds chunk dispatch overhead for per-edge loops of width h.

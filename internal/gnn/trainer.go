@@ -31,8 +31,17 @@ type Trainer struct {
 	// across Step calls (enable with EnableTiming).
 	Timing *StepTiming
 
-	step    int
-	gradBuf []float64
+	// Batch, when > 1, makes Fit group each epoch's shuffled visit order
+	// into runs of Batch consecutive samples and train each run with one
+	// StepBatch — same sample stream, same noise stream, 1/Batch as many
+	// optimizer steps. NewTrainer seeds it from Config.TrainBatch.
+	Batch int
+
+	step      int
+	gradBuf   []float64
+	batchLoss []float64
+	xsBuf     []*tensor.Matrix
+	tsBuf     []*tensor.Matrix
 }
 
 // StepTiming is the accumulated per-phase breakdown of training steps:
@@ -63,7 +72,7 @@ func (st *StepTiming) Total() time.Duration {
 
 // NewTrainer pairs a model with an optimizer.
 func NewTrainer(m *Model, opt nn.Optimizer) *Trainer {
-	return &Trainer{Model: m, Opt: opt}
+	return &Trainer{Model: m, Opt: opt, Batch: m.Config.TrainBatch}
 }
 
 // Step executes one training iteration (forward, loss, backward, gradient

@@ -84,6 +84,10 @@ type Linear struct {
 	arena *tensor.Arena
 	x     *tensor.Matrix // cached input
 	dw    *tensor.Matrix // scratch for the weight-gradient GEMM
+	// bx/bdy are persistent row-block headers for the batched backward's
+	// per-sample parameter-gradient reductions (tensor.SliceRows rewrites
+	// them in place, so block iteration allocates nothing).
+	bx, bdy tensor.Matrix
 
 	// pw caches the packed-GEMM panels of Weight.W for the training
 	// forward, keyed by the parameter version: without it every Forward
@@ -150,6 +154,33 @@ func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	tensor.MatMulATB(l.dw, l.x, dy)
 	tensor.AddScaled(l.Weight.G, 1, l.dw)
 	tensor.ColSums(l.Bias.G.Data, dy)
+	dx := l.arena.Get(dy.Rows, l.In)
+	tensor.MatMulABT(dx, dy, l.Weight.W) // fully overwrites dx
+	return dx
+}
+
+// BackwardBatched is the row-block backward: dy is batch vertically
+// stacked sample gradients ((batch·n)×Out). The input gradient is a pure
+// row map, so it runs over the full stack in one GEMM sweep; the
+// parameter-gradient reductions — whose fixed chunk schedule derives from
+// the row count — run per sample block in ascending order, so each
+// block's reduction geometry, and hence every accumulated bit, matches
+// the sequential per-sample oracle exactly. batch == 1 is Backward.
+func (l *Linear) BackwardBatched(dy *tensor.Matrix, batch int) *tensor.Matrix {
+	if dy.Rows%batch != 0 {
+		panic(fmt.Sprintf("nn: batched backward rows %d not divisible by batch %d", dy.Rows, batch))
+	}
+	if l.dw == nil {
+		l.dw = tensor.New(l.In, l.Out)
+	}
+	per := dy.Rows / batch
+	for b := 0; b < batch; b++ {
+		l.x.SliceRows(&l.bx, b*per, (b+1)*per)
+		dy.SliceRows(&l.bdy, b*per, (b+1)*per)
+		tensor.MatMulATB(l.dw, &l.bx, &l.bdy)
+		tensor.AddScaled(l.Weight.G, 1, l.dw)
+		tensor.ColSums(l.Bias.G.Data, &l.bdy)
+	}
 	dx := l.arena.Get(dy.Rows, l.In)
 	tensor.MatMulABT(dx, dy, l.Weight.W) // fully overwrites dx
 	return dx
@@ -258,6 +289,10 @@ func (t *lnForwardTask) Run(lo, hi int) {
 type lnBackwardTask struct {
 	ln     *LayerNorm
 	dy, dx *tensor.Matrix
+	// off shifts the row window: the batched backward reduces one sample
+	// block at a time (rows [off, off+n) of the stacked matrices) with the
+	// block-local chunk schedule of the unbatched pass. 0 for Backward.
+	off int
 }
 
 func (t *lnBackwardTask) Body(lo, hi int, acc []float64) {
@@ -265,7 +300,8 @@ func (t *lnBackwardTask) Body(lo, hi int, acc []float64) {
 	dim := ln.Dim
 	n := float64(dim)
 	dGain, dShift := acc[:dim], acc[dim:]
-	for i := lo; i < hi; i++ {
+	for p := lo; p < hi; p++ {
+		i := t.off + p
 		dyr := t.dy.Row(i)
 		xh := ln.xhat.Row(i)
 		// Parameter gradient partials.
@@ -356,8 +392,27 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward implements Layer.
 func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	dx := ln.arena.Get(dy.Rows, dy.Cols)
-	ln.bwd.ln, ln.bwd.dy, ln.bwd.dx = ln, dy, dx
+	ln.bwd.ln, ln.bwd.dy, ln.bwd.dx, ln.bwd.off = ln, dy, dx, 0
 	parallel.ReduceWith(dy.Rows, 256, 2*ln.Dim, &ln.bwd)
+	return dx
+}
+
+// BackwardBatched is the row-block backward over batch stacked samples.
+// The input gradient is per-row (any partition yields the same bits); the
+// gain/shift reduction runs one sample block at a time in ascending order,
+// reproducing the unbatched pass's chunk geometry — and therefore its
+// accumulated bits — per sample. batch == 1 is Backward.
+func (ln *LayerNorm) BackwardBatched(dy *tensor.Matrix, batch int) *tensor.Matrix {
+	if dy.Rows%batch != 0 {
+		panic(fmt.Sprintf("nn: batched backward rows %d not divisible by batch %d", dy.Rows, batch))
+	}
+	dx := ln.arena.Get(dy.Rows, dy.Cols)
+	ln.bwd.ln, ln.bwd.dy, ln.bwd.dx = ln, dy, dx
+	per := dy.Rows / batch
+	for b := 0; b < batch; b++ {
+		ln.bwd.off = b * per
+		parallel.ReduceWith(per, 256, 2*ln.Dim, &ln.bwd)
+	}
 	return dx
 }
 

@@ -67,6 +67,29 @@ func (m *MLP) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	return dy
 }
 
+// BatchBackward is implemented by layers whose backward distinguishes the
+// row-block (batched) layout: parameter-gradient reductions run per
+// sample block so accumulation is bitwise the sequential per-sample
+// oracle. Pure row maps (ELU) need no batched variant.
+type BatchBackward interface {
+	BackwardBatched(dy *tensor.Matrix, batch int) *tensor.Matrix
+}
+
+// BackwardBatched propagates a stacked gradient of batch samples through
+// the block: layers with block-sensitive parameter reductions (Linear,
+// LayerNorm) take the batched path; element-wise layers run stacked
+// unchanged. Forward must have been called on the matching stacked input.
+func (m *MLP) BackwardBatched(dy *tensor.Matrix, batch int) *tensor.Matrix {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		if bb, ok := m.layers[i].(BatchBackward); ok {
+			dy = bb.BackwardBatched(dy, batch)
+		} else {
+			dy = m.layers[i].Backward(dy)
+		}
+	}
+	return dy
+}
+
 // Params implements Layer.
 func (m *MLP) Params() []*Param {
 	var out []*Param

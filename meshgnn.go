@@ -164,6 +164,9 @@ var (
 	ErrCorruptFrame = comm.ErrCorruptFrame
 	// ErrFault marks a failure manufactured by fault injection.
 	ErrFault = comm.ErrFault
+	// ErrLiveSessions marks an Inference.Refresh refused because session
+	// views are still outstanding (or the receiver is itself a view).
+	ErrLiveSessions = gnn.ErrLiveSessions
 )
 
 // Injectable fault kinds (FaultEvent.Kind).

@@ -411,7 +411,10 @@ func (s *System) ServeWith(kind TransportKind, mode ExchangeMode, model *Model, 
 	if err != nil {
 		return nil, err
 	}
-	if _, err := core.Session(); err == nil {
+	// Probe whether this compile supports Session views; the probe view is
+	// released immediately so it never pins the core's refresh refusal.
+	if probe, err := core.Session(); err == nil {
+		probe.Release()
 		srv.core = core
 	}
 	for i := 0; i < nsess; i++ {
@@ -605,6 +608,7 @@ func (ses *serveSession) serveRank(r *Rank) error {
 	if err != nil {
 		return err
 	}
+	defer eng.Release()
 	id := r.ID()
 	for b := range ses.batches[id] {
 		if err := ses.serveBatchOn(r, eng, b); err != nil {
